@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Makes ``pytest benchmarks/`` work from the repository root (the package
+config sets ``testpaths = tests``) and keeps pytest-benchmark rounds
+small — the experiments themselves are deterministic; the timing is a
+bonus, not the result.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `import _support` from any benchmark module.
+sys.path.insert(0, str(Path(__file__).parent))

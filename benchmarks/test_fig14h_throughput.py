@@ -1,0 +1,103 @@
+"""Figure 14 H: throughput vs data size under YCSB Workload B.
+
+95% Zipfian reads, 5% Zipfian writes over a lazy-leveled tree with a
+block cache. The Bloom-filter baselines decay fastest (more filters to
+probe as L grows); uncompressed LIDs decay through their growing FPR;
+Chucky sustains the highest throughput at every size, with a slow
+decline driven by the fence-pointer binary search (the next bottleneck
+the paper points at).
+
+Throughput is modelled ops/second: counted I/Os priced by the cost
+model (memory 100 ns, storage 10 us).
+"""
+
+from _support import fmt_row, report
+
+from repro.chucky.policy import ChuckyPolicy
+from repro.engine.kvstore import KVStore
+from repro.filters.policy import BloomFilterPolicy
+from repro.lsm.config import lazy_leveling
+from repro.workloads.generators import ycsb_b
+from repro.workloads.loaders import fill_tree_to_levels
+
+T = 3
+LEVELS = [2, 3, 4, 5, 6, 7]
+OPS = 4000
+
+POLICIES = {
+    "non-blocked BFs": lambda: BloomFilterPolicy(
+        10, variant="standard", allocation="optimal"
+    ),
+    "blocked BFs": lambda: BloomFilterPolicy(
+        10, variant="blocked", allocation="optimal"
+    ),
+    "Chucky uncomp.": lambda: ChuckyPolicy(bits_per_entry=10, compressed=False),
+    "Chucky": lambda: ChuckyPolicy(bits_per_entry=10),
+}
+
+
+def one_point(levels, factory):
+    cfg = lazy_leveling(T, buffer_entries=4, block_entries=8, initial_levels=levels)
+    # Cache ~1/8 of the data blocks (the paper's 1 GB cache vs 16 GB of
+    # data): the Zipfian hot set fits, false-positive probes mostly miss.
+    total_blocks = sum(cfg.level_capacity(l) for l in range(1, levels + 1)) // 8
+    kv = KVStore(cfg, filter_policy=factory(), cache_blocks=max(16, total_blocks // 8))
+    placement = fill_tree_to_levels(kv, seed=levels)
+    keys = [key for ks in placement.values() for key in ks]
+    ops = list(ycsb_b(keys, OPS, seed=levels))
+    # Warm the cache with the hot set.
+    for op, key in ops[:800]:
+        kv.get(key)
+    snap = kv.snapshot()
+    for op, key in ops:
+        if op == "read":
+            kv.get(key)
+        else:
+            kv.put(key, "updated")
+    total_ns = kv.latency_since(snap).total_ns
+    return OPS / (total_ns * 1e-9)
+
+
+def sweep():
+    rows = []
+    for levels in LEVELS:
+        rows.append(
+            (levels,)
+            + tuple(one_point(levels, factory) for factory in POLICIES.values())
+        )
+    return rows
+
+
+def test_fig14h_throughput(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    names = list(POLICIES)
+    table = [fmt_row(["L"] + names, widths=[3, 16, 16, 16, 16])]
+    for row in rows:
+        table.append(fmt_row(list(row), widths=[3, 16, 16, 16, 16]))
+    report(
+        "fig14h_throughput",
+        "Figure 14H — throughput (ops/s, modelled) vs data size, YCSB-B",
+        table,
+    )
+
+    series = {n: [row[1 + i] for row in rows] for i, n in enumerate(names)}
+
+    # Chucky beats both Bloom-filter baselines at every data size beyond
+    # the trivial tree, and never loses to the uncompressed variant by
+    # more than noise. (At this scale the uncompressed FPR penalty on
+    # *existing-key* reads is small — most of its false matches land on
+    # the largest level, where the data actually lives; the FPR gap
+    # itself is measured directly in the 14B/C/D benches.)
+    for i, levels in enumerate(LEVELS):
+        if levels >= 3:
+            for other in ("non-blocked BFs", "blocked BFs"):
+                assert series["Chucky"][i] > series[other][i], (levels, other)
+            assert series["Chucky"][i] >= series["Chucky uncomp."][i] * 0.99
+
+    # Throughput decays with data size for every baseline (growing fence
+    # searches and more storage traffic), and Chucky's advantage over
+    # non-blocked BFs stays large at every size.
+    for n in names:
+        assert series[n][-1] < series[n][0] / 3
+    for i, levels in enumerate(LEVELS):
+        assert series["Chucky"][i] > series["non-blocked BFs"][i] * 1.2

@@ -1,0 +1,70 @@
+"""Full-store crash recovery: WAL + run manifests + persisted filter.
+
+Extends the paper's section 4.5 persistence story to the whole engine:
+after a crash, the LSM-tree reopens from run manifests (no data scan),
+Chucky recovers from its persisted fingerprints (no data scan), and the
+write-ahead log replays the unflushed tail of writes.
+
+Run with::
+
+    python examples/store_recovery.py
+"""
+
+import random
+
+from repro import ChuckyPolicy, KVStore, lazy_leveling
+
+
+def main() -> None:
+    cfg = lazy_leveling(size_ratio=4, buffer_entries=32, block_entries=8)
+    store = KVStore(
+        cfg, filter_policy=ChuckyPolicy(bits_per_entry=10), durable=True
+    )
+
+    print("writing 5,000 entries (with deletes) ...")
+    rng = random.Random(7)
+    reference = {}
+    for i in range(5_000):
+        key = rng.randrange(2_000)
+        if rng.random() < 0.05:
+            store.delete(key)
+            reference.pop(key, None)
+        else:
+            store.put(key, f"v{i}")
+            reference[key] = f"v{i}"
+
+    unflushed = len(store.memtable)
+    print(f"  tree: {store.tree.num_levels} levels, "
+          f"{len(store.tree.occupied_runs())} runs; "
+          f"{unflushed} writes still only in memtable+WAL "
+          f"({store.wal.size_bytes:,} WAL bytes)")
+
+    print("\n... power cut! capturing what storage still holds ...")
+    state = store.crash()
+    print(f"  survives: {len(state.manifest)} run manifests, "
+          f"{len(state.wal_data):,} WAL bytes, "
+          f"{len(state.filter_blob or b''):,} filter-fingerprint bytes")
+
+    print("\nrecovering ...")
+    recovered = KVStore.recover(
+        state, cfg, filter_policy=ChuckyPolicy(bits_per_entry=10)
+    )
+    print(f"  storage blocks read during recovery: "
+          f"{recovered.counters.storage.reads} "
+          f"(manifests + fingerprints only — no data scan)")
+
+    print("verifying every key ...")
+    mismatches = sum(
+        1 for key in range(2_000) if recovered.get(key) != reference.get(key)
+    )
+    print(f"  mismatches: {mismatches}")
+    assert mismatches == 0
+
+    # And life goes on.
+    recovered.put(9_999, "post-recovery")
+    assert recovered.get(9_999) == "post-recovery"
+    print("\nrecovery complete — no write lost, writes continue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — a full reproduction of *Chucky: A Succinct Cuckoo Filter for
+LSM-Tree* (Dayan & Twitto, SIGMOD 2021).
+
+Public API tour:
+
+* :class:`KVStore` — the complete store: memtable + Dostoevsky LSM-tree
+  + pluggable filter policy + block cache + latency cost model.
+* :class:`ChuckyPolicy` / :class:`ChuckyFilter` — the paper's
+  contribution: one Cuckoo filter mapping every entry to its sub-level
+  through Huffman/FAC-compressed level IDs.
+* :class:`BloomFilterPolicy` / :class:`NoFilterPolicy` — the baselines
+  (standard & blocked Bloom, uniform & Monkey-optimal allocation).
+* :func:`leveling` / :func:`tiering` / :func:`lazy_leveling` — merge-
+  policy presets over :class:`LSMConfig`.
+* :mod:`repro.coding` — the information-theory substrate (Huffman,
+  Kraft/canonical codes, LID distributions, entropies, Eqs 7-13).
+* :mod:`repro.analysis` — the paper's closed-form FPR and cost models
+  (Eqs 2/3/5/6/10/16, Tables 1-2).
+
+Quickstart::
+
+    from repro import KVStore, ChuckyPolicy, lazy_leveling
+
+    store = KVStore(lazy_leveling(size_ratio=5, buffer_entries=128),
+                    filter_policy=ChuckyPolicy(bits_per_entry=10))
+    store.put(42, "hello")
+    assert store.get(42) == "hello"
+"""
+
+from repro.analysis import (
+    fpr_bloom_optimal,
+    fpr_bloom_uniform,
+    fpr_chucky_lower_bound,
+    fpr_chucky_model,
+    fpr_cuckoo_integer_lids,
+)
+from repro.chucky import (
+    ChuckyCodebook,
+    ChuckyFilter,
+    ChuckyPolicy,
+    UncompressedLidFilter,
+)
+from repro.coding import LidDistribution
+from repro.common import CostModel, LatencyBreakdown
+from repro.engine import KVStore, ReadResult
+from repro.filters import (
+    BlockedBloomFilter,
+    BloomFilter,
+    BloomFilterPolicy,
+    CuckooFilter,
+    NoFilterPolicy,
+)
+from repro.lsm import LSMConfig, lazy_leveling, leveling, tiering
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockedBloomFilter",
+    "BloomFilter",
+    "BloomFilterPolicy",
+    "ChuckyCodebook",
+    "ChuckyFilter",
+    "ChuckyPolicy",
+    "CostModel",
+    "CuckooFilter",
+    "KVStore",
+    "LSMConfig",
+    "LatencyBreakdown",
+    "LidDistribution",
+    "NoFilterPolicy",
+    "ReadResult",
+    "UncompressedLidFilter",
+    "fpr_bloom_optimal",
+    "fpr_bloom_uniform",
+    "fpr_chucky_lower_bound",
+    "fpr_chucky_model",
+    "fpr_cuckoo_integer_lids",
+    "lazy_leveling",
+    "leveling",
+    "tiering",
+]

@@ -1,0 +1,40 @@
+"""Closed-form models from the paper: FPR equations (2, 3, 5, 6, 10, 16)
+and the memory-I/O complexity tables (Tables 1-2)."""
+
+from repro.analysis.cost_models import (
+    bloom_query_ios,
+    bloom_update_ios,
+    chucky_query_ios,
+    chucky_update_ios,
+)
+from repro.analysis.measured import (
+    StoreMetrics,
+    collect_metrics,
+    measured_space_amplification,
+    measured_write_amplification,
+)
+from repro.analysis.fpr_models import (
+    fpr_bloom_optimal,
+    fpr_bloom_uniform,
+    fpr_chucky_lower_bound,
+    fpr_chucky_model,
+    fpr_cuckoo,
+    fpr_cuckoo_integer_lids,
+)
+
+__all__ = [
+    "StoreMetrics",
+    "bloom_query_ios",
+    "collect_metrics",
+    "measured_space_amplification",
+    "measured_write_amplification",
+    "bloom_update_ios",
+    "chucky_query_ios",
+    "chucky_update_ios",
+    "fpr_bloom_optimal",
+    "fpr_bloom_uniform",
+    "fpr_chucky_lower_bound",
+    "fpr_chucky_model",
+    "fpr_cuckoo",
+    "fpr_cuckoo_integer_lids",
+]

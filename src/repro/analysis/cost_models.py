@@ -1,0 +1,54 @@
+"""Memory-I/O complexity models (paper Tables 1 and 2).
+
+Blocked Bloom filters (Table 1):
+
+* point query — one memory I/O per sub-level: ``(L-1) K + Z``;
+* update — one filter insertion per compaction an entry participates
+  in, i.e. the write amplification: ``~ T/K (L-1) + T/Z`` with
+  Dostoevsky (O(L T) for leveling, O(L + T) for lazy leveling, O(L)
+  for tiering).
+
+Chucky (Table 2):
+
+* point query — O(1): two bucket reads (plus the occasional decoding-
+  table or AHT access);
+* update — O(L): the LID is rewritten at most once per level the entry
+  descends through, ~1.5 memory I/Os each.
+"""
+
+from __future__ import annotations
+
+
+def bloom_query_ios(
+    num_levels: int, runs_per_level: int = 1, runs_at_last_level: int = 1
+) -> float:
+    """Table 1, query row: one blocked-BF probe per sub-level."""
+    return runs_per_level * (num_levels - 1) + runs_at_last_level
+
+
+def bloom_update_ios(
+    num_levels: int,
+    size_ratio: int,
+    runs_per_level: int = 1,
+    runs_at_last_level: int = 1,
+) -> float:
+    """Table 1, update row: amortized BF insertions per application write
+    = the LSM-tree's write amplification under Dostoevsky.
+
+    Each entry is rewritten ~T/K times per level at Levels 1..L-1 and
+    ~T/Z times at the largest level; each rewrite costs one blocked-BF
+    insertion (one memory I/O).
+    """
+    t = size_ratio
+    return (num_levels - 1) * t / runs_per_level + t / runs_at_last_level
+
+
+def chucky_query_ios() -> float:
+    """Table 2, query row: two bucket reads, any data size, any policy."""
+    return 2.0
+
+
+def chucky_update_ios(num_levels: int) -> float:
+    """Table 2, update row: ~1.5 memory I/Os per LID update, at most one
+    update per level the entry moves into."""
+    return 1.5 * num_levels

@@ -1,0 +1,111 @@
+"""False-positive-rate models (paper Eqs 2, 3, 5, 6, 10, 16).
+
+The FPR here is the paper's definition: the *sum* of per-filter false
+positive probabilities — i.e., the expected number of wasted run probes
+per point query to a non-existing key over the whole LSM-tree.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.coding.entropy import acl_upper_bound, lid_entropy
+
+_LN2 = math.log(2)
+
+
+def _num_runs(num_levels: int, runs_per_level: int, runs_at_last_level: int) -> int:
+    """A = K (L-1) + Z (Eq 1)."""
+    return runs_per_level * (num_levels - 1) + runs_at_last_level
+
+
+def fpr_bloom_uniform(
+    bits_per_entry: float,
+    num_levels: int,
+    runs_per_level: int = 1,
+    runs_at_last_level: int = 1,
+) -> float:
+    """Eq 2: uniformly allocated Bloom filters.
+
+    ``FPR = 2^{-M ln 2} (K (L-1) + Z)`` — grows with the number of runs
+    and therefore with the data size.
+    """
+    runs = _num_runs(num_levels, runs_per_level, runs_at_last_level)
+    return 2.0 ** (-bits_per_entry * _LN2) * runs
+
+
+def fpr_bloom_optimal(
+    bits_per_entry: float,
+    size_ratio: int,
+    runs_per_level: int = 1,
+    runs_at_last_level: int = 1,
+) -> float:
+    """Eq 3: Monkey-optimal Bloom filters.
+
+    ``FPR = 2^{-M ln 2} * 2^H`` where H is the LID entropy of Eq 9 —
+    independent of the number of levels (smaller levels' exponentially
+    smaller FPPs make the sum converge). Expanded:
+    ``2^{-M ln 2} * T^{T/(T-1)}/(T-1) * Z^{(T-1)/T} * K^{1/T}``.
+    """
+    h = lid_entropy(size_ratio, runs_per_level, runs_at_last_level)
+    return 2.0 ** (-bits_per_entry * _LN2) * 2.0**h
+
+
+def fpr_cuckoo(
+    bits_per_entry: float, lid_bits: float, slots: int = 4
+) -> float:
+    """Eq 5: a Cuckoo filter whose per-entry budget M is shared between a
+    D-bit level ID and an (M - D)-bit fingerprint: ``2 S 2^{-M + D}``."""
+    return 2.0 * slots * 2.0 ** (-(bits_per_entry - lid_bits))
+
+
+def fpr_cuckoo_integer_lids(
+    bits_per_entry: float,
+    num_levels: int,
+    runs_per_level: int = 1,
+    runs_at_last_level: int = 1,
+    slots: int = 4,
+) -> float:
+    """Eq 6: SlimDB-style fixed-width integer LIDs.
+
+    ``D = log2(A)`` so ``FPR ~ 2 S 2^{-M} (K (L-1) + Z)`` — the LIDs
+    steal more fingerprint bits as the data grows.
+    """
+    runs = _num_runs(num_levels, runs_per_level, runs_at_last_level)
+    return 2.0 * slots * 2.0 ** (-bits_per_entry) * runs
+
+
+def fpr_chucky_lower_bound(
+    bits_per_entry: float,
+    size_ratio: int,
+    runs_per_level: int = 1,
+    runs_at_last_level: int = 1,
+    slots: int = 4,
+) -> float:
+    """Eq 10: Chucky's optimistic bound with LIDs compressed to entropy.
+
+    ``FPR = 2 S 2^{-M} 2^{H}`` — beats optimal Bloom filters for large
+    enough M because the exponent decays as 2^{-M} instead of
+    2^{-M ln 2}.
+    """
+    h = lid_entropy(size_ratio, runs_per_level, runs_at_last_level)
+    return 2.0 * slots * 2.0 ** (-bits_per_entry) * 2.0**h
+
+
+def fpr_chucky_model(
+    bits_per_entry: float,
+    size_ratio: int,
+    runs_per_level: int = 1,
+    runs_at_last_level: int = 1,
+    slots: int = 4,
+) -> float:
+    """Eq 16: the deployed model, using the achievable ACL upper bound
+    (Eq 11) instead of the entropy::
+
+        FPR ~ 2 S 2^{-M} 2^{T/(T-1)} K^{1/T} Z^{(T-1)/T}
+
+    A conservative estimate of the expected false positives per query to
+    a non-existing key (Figure 11 shows it upper-bounds all cases).
+    """
+    acl = acl_upper_bound(size_ratio, runs_per_level, runs_at_last_level)
+    return 2.0 * slots * 2.0 ** (-(bits_per_entry - acl))

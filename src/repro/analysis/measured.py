@@ -1,0 +1,82 @@
+"""Measured system metrics over a live store.
+
+Complements the closed-form models: these helpers read actual counters
+and structures of a :class:`repro.engine.kvstore.KVStore` to report the
+quantities LSM papers plot — write amplification, space amplification,
+run counts, filter memory, and per-component latency shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.kvstore import KVStore
+
+
+@dataclass(frozen=True)
+class StoreMetrics:
+    """Snapshot of a store's health/shape metrics."""
+
+    num_levels: int
+    num_runs: int
+    live_entries: int
+    stored_entries: int
+    space_amplification: float
+    write_amplification: float
+    filter_bits_per_entry: float
+    blocks_in_storage: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "num_levels": self.num_levels,
+            "num_runs": self.num_runs,
+            "live_entries": self.live_entries,
+            "stored_entries": self.stored_entries,
+            "space_amplification": self.space_amplification,
+            "write_amplification": self.write_amplification,
+            "filter_bits_per_entry": self.filter_bits_per_entry,
+            "blocks_in_storage": self.blocks_in_storage,
+        }
+
+
+def collect_metrics(store: KVStore) -> StoreMetrics:
+    """Compute the metrics bundle for a store's current state."""
+    tree = store.tree
+    stored = tree.num_entries
+    # Live = distinct newest versions that are not tombstones. A scan is
+    # exact; it bypasses counters so metrics collection is free.
+    with tree.storage.counting_suspended():
+        live_keys: dict[int, tuple[int, bool]] = {}
+        for entry, _ in tree.iter_entries_with_sublevels():
+            seen = live_keys.get(entry.key)
+            if seen is None or entry.seqno > seen[0]:
+                live_keys[entry.key] = (entry.seqno, entry.is_tombstone)
+        live = sum(1 for _, dead in live_keys.values() if not dead)
+
+    writes = store.updates
+    block_writes = store.counters.storage.writes
+    entries_written = block_writes * store.config.block_entries
+    wamp = entries_written / writes if writes else 0.0
+    samp = stored / live if live else float(stored > 0)
+    fbits = store.policy.size_bits / stored if stored else 0.0
+    return StoreMetrics(
+        num_levels=tree.num_levels,
+        num_runs=len(tree.occupied_runs()),
+        live_entries=live,
+        stored_entries=stored,
+        space_amplification=samp,
+        write_amplification=wamp,
+        filter_bits_per_entry=fbits,
+        blocks_in_storage=tree.storage.total_blocks,
+    )
+
+
+def measured_write_amplification(store: KVStore) -> float:
+    """Entries written to storage per application write so far."""
+    return collect_metrics(store).write_amplification
+
+
+def measured_space_amplification(store: KVStore) -> float:
+    """Stored versions per live entry (the paper bounds this by
+    ``T/(T-1)`` for leveling / lazy leveling — section 4.5)."""
+    return collect_metrics(store).space_amplification

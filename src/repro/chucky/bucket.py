@@ -1,0 +1,110 @@
+"""Bit-packed bucket codec (paper sections 4.3-4.4).
+
+A Chucky bucket is ``B`` bits: one combination code followed by the S
+fingerprints *sorted by LID* (the combination discards ordering, so the
+sort is what lets the decoder know which fingerprint belongs to which
+LID). Under FAC, a frequent combination's code is exactly ``B - c_FP``
+bits, so code + fingerprints always fill the bucket exactly; a rare
+combination's code is ``B`` bits and its fingerprints live in the
+overflow hash table.
+
+Empty slots are (most-frequent LID, all-zero fingerprint) pairs —
+indistinguishable from data on purpose: they ride the same code.
+"""
+
+from __future__ import annotations
+
+from repro.coding.distributions import Combination
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import FilterError
+from repro.chucky.codebook import ChuckyCodebook
+from repro.chucky.tables import CodecTables
+
+#: One logical slot: (LID, fingerprint). Fingerprint 0 at the empty LID
+#: marks a free slot.
+Slot = tuple[int, int]
+
+
+class BucketCodec:
+    """Packs/unpacks logical slot lists to/from B-bit integers."""
+
+    def __init__(self, codebook: ChuckyCodebook, tables: CodecTables) -> None:
+        if codebook.mode != "mf_fac":
+            raise FilterError(
+                "the running filter requires the mf_fac codebook; other "
+                "modes exist for alignment analysis only (Figure 9)"
+            )
+        self.codebook = codebook
+        self.tables = tables
+        self.empty_slot: Slot = (codebook.empty_lid, 0)
+        self._empty_packed, _ = self.pack([self.empty_slot] * codebook.slots)
+
+    @property
+    def empty_packed(self) -> int:
+        """The packed representation of a fully empty bucket."""
+        return self._empty_packed
+
+    def pack(self, slots: list[Slot]) -> tuple[int, list[int] | None]:
+        """Encode slots into a packed bucket.
+
+        Returns ``(packed, overflow_fps)``: for frequent combinations the
+        fingerprints are inline and ``overflow_fps`` is None; for rare
+        combinations the packed value is the bucket-sized escape code and
+        ``overflow_fps`` carries the fingerprints (in LID-sorted order)
+        for the overflow hash table.
+        """
+        if len(slots) != self.codebook.slots:
+            raise FilterError(
+                f"bucket must hold exactly {self.codebook.slots} slots, "
+                f"got {len(slots)}"
+            )
+        ordered = sorted(slots)
+        combo: Combination = tuple(lid for lid, _ in ordered)
+        code, length = self.tables.encode(combo)
+        if length == self.codebook.bucket_bits:
+            return code, [fp for _, fp in ordered]
+        writer = BitWriter()
+        writer.write(code, length)
+        for lid, fp in ordered:
+            writer.write(fp, self.codebook.fp_length(lid))
+        if writer.bit_length != self.codebook.bucket_bits:
+            raise FilterError(
+                f"bucket misaligned: packed {writer.bit_length} bits into a "
+                f"{self.codebook.bucket_bits}-bit bucket for combo {combo}"
+            )
+        return writer.getvalue(), None
+
+    def unpack(
+        self, packed: int, overflow_fps: list[int] | None = None
+    ) -> list[Slot]:
+        """Decode a packed bucket back to LID-sorted slots.
+
+        ``overflow_fps`` must be supplied when the bucket holds a rare
+        combination (the caller looks it up in the overflow hash table
+        keyed by bucket index).
+        """
+        combo, used = self.tables.decode_prefix(packed, self.codebook.bucket_bits)
+        if used == self.codebook.bucket_bits:
+            if overflow_fps is None:
+                raise FilterError(
+                    "rare-combination bucket decoded without its overflow "
+                    "fingerprints"
+                )
+            if len(overflow_fps) != len(combo):
+                raise FilterError(
+                    f"overflow entry has {len(overflow_fps)} fingerprints "
+                    f"for a {len(combo)}-LID combination"
+                )
+            return list(zip(combo, overflow_fps))
+        reader = BitReader(packed, self.codebook.bucket_bits)
+        reader.skip(used)
+        return [(lid, reader.read(self.codebook.fp_length(lid))) for lid in combo]
+
+    def is_rare(self, packed: int) -> bool:
+        """True when the packed bucket holds a rare-combination escape
+        code (its fingerprints are in the overflow hash table)."""
+        combo, used = self.codebook.code.decode_prefix(
+            packed, self.codebook.bucket_bits
+        )
+        del combo
+        return used == self.codebook.bucket_bits

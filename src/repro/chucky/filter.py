@@ -1,0 +1,563 @@
+"""The Chucky filter: a Cuckoo filter mapping entries to level IDs.
+
+Each slot holds a (LID, fingerprint) pair; a point query reads the two
+candidate buckets and returns every LID whose fingerprint matches —
+youngest first — so the LSM-tree knows exactly which sub-levels to
+search (paper section 4.1). Insertions, LID updates and deletions ride
+the tree's flush/merge events at ~1.5 memory I/Os per touched entry.
+
+Bucket addressing: the paper's Eq 4 uses xor partial-key hashing, which
+requires a power-of-two bucket count and can waste up to 50% memory
+(section 4.5, Partitioning). We use the standard involution variant
+``partner(b) = (anchor(fp) - b) mod n``, which preserves the "compute
+the alternative bucket from the fingerprint alone" property for *any*
+bucket count — behaviourally identical, and it sidesteps the memory
+waste the paper defers to Vacuum-filter partitioning. (The plain
+:class:`repro.filters.cuckoo.CuckooFilter` baseline keeps the faithful
+xor form.) Both buckets derive from the fingerprint's first ``FP_MIN``
+bits only, so every Malleable-Fingerprinting length of one key shares a
+bucket pair (section 4.3).
+
+Structures beyond the bucket array (paper sections 4.4-4.5):
+
+* overflow hash table — fingerprints of buckets holding *rare* LID
+  combinations (FAC's bucket-sized escape codes leave no inline room);
+* additional hash table (AHT) — homeless entries when > 2S versions of
+  one key pile onto a single bucket pair (or an eviction walk fails);
+* persistence — buckets serialize to bytes; recovery rebuilds the
+  filter from fingerprints alone, never rescanning the data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+from repro.coding.distributions import LidDistribution
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.counters import MemoryIOCounter
+from repro.common.errors import FilterError
+from repro.common.hashing import FP_MIN, fingerprint_bits, key_digest, splitmix64
+from repro.chucky.bucket import BucketCodec, Slot
+from repro.chucky.codebook import ChuckyCodebook
+from repro.chucky.tables import CodecTables
+
+_PRIMARY_SEED = 4000
+_ANCHOR_SALT = 0x9E3779B97F4A7C15
+#: Eviction-walk budget. Kept short: near peak occupancy the marginal
+#: cost of a random walk explodes, and Chucky has a second-chance home —
+#: the AHT — that a plain Cuckoo filter lacks. Bounding the walk keeps
+#: the paper's "~2 memory I/Os per insertion" true at the 95% design
+#: load; the few spilled entries are repatriated as removals free slots.
+_MAX_EVICTIONS = 12
+
+
+def primary_bucket(key: int, num_buckets: int) -> int:
+    """The key's first candidate bucket."""
+    return key_digest(key, seed=_PRIMARY_SEED) % num_buckets
+
+
+def partner_bucket(
+    bucket: int, fp: int, fp_length: int, num_buckets: int, fp_min: int = FP_MIN
+) -> int:
+    """The other candidate bucket, from the fingerprint's shared prefix.
+
+    ``partner(partner(b)) == b`` for any bucket count (subtraction
+    involution), replacing Eq 4's xor which needs a power of two.
+    """
+    if fp_length < fp_min:
+        raise ValueError(f"fingerprint has {fp_length} bits, need >= {fp_min}")
+    prefix = fp >> (fp_length - fp_min)
+    anchor = splitmix64(prefix ^ _ANCHOR_SALT) % num_buckets
+    return (anchor - bucket) % num_buckets
+
+
+class CuckooLidFilterBase(ABC):
+    """Shared machinery of the compressed (Chucky) and uncompressed
+    (SlimDB-style) LID filters: addressing, eviction, query, LID update,
+    deletion, AHT handling, and I/O accounting.
+
+    Subclasses define the bucket *representation* (bit-packed vs plain)
+    via ``_read_bucket`` / ``_write_bucket`` and the per-LID fingerprint
+    length.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int,
+        slots: int,
+        empty_lid: int,
+        memory_ios: MemoryIOCounter | None = None,
+        seed: int = 0,
+        fp_min: int = FP_MIN,
+    ) -> None:
+        if num_buckets < 2:
+            raise ValueError(f"num_buckets must be >= 2, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self.slots = slots
+        self.empty_lid = empty_lid
+        self.fp_min = fp_min
+        self.memory_ios = (
+            memory_ios if memory_ios is not None else MemoryIOCounter()
+        )
+        self._rng = random.Random(seed)
+        #: Homeless entries: normalized bucket pair -> [(lid, fp), ...].
+        self.aht: dict[tuple[int, int], list[Slot]] = {}
+        self.num_entries = 0
+        #: LID updates/removals that found no matching slot (should stay 0
+        #: in correct operation; exposed for tests and sanity checks).
+        self.maintenance_misses = 0
+
+    # -- representation hooks (no I/O accounting inside) -----------------
+
+    @abstractmethod
+    def _fp_length(self, lid: int) -> int:
+        """Fingerprint length for entries at sub-level ``lid``."""
+
+    @abstractmethod
+    def _read_bucket(self, index: int) -> list[Slot]:
+        """Decode bucket ``index`` into S logical slots."""
+
+    @abstractmethod
+    def _write_bucket(self, index: int, slots: list[Slot]) -> None:
+        """Encode S logical slots into bucket ``index``."""
+
+    # -- addressing -------------------------------------------------------
+
+    def fingerprint(self, key: int, lid: int) -> int:
+        return fingerprint_bits(key, self._fp_length(lid), fp_min=self.fp_min)
+
+    def bucket_pair(self, key: int) -> tuple[int, int]:
+        """Both candidate buckets of a key (same for all its versions)."""
+        prefix = fingerprint_bits(key, self.fp_min, fp_min=self.fp_min)
+        b1 = primary_bucket(key, self.num_buckets)
+        b2 = partner_bucket(b1, prefix, self.fp_min, self.num_buckets, self.fp_min)
+        return b1, b2
+
+    def _partner_of_slot(self, bucket: int, slot: Slot) -> int:
+        lid, fp = slot
+        return partner_bucket(
+            bucket, fp, self._fp_length(lid), self.num_buckets, self.fp_min
+        )
+
+    def _pair_key(self, b1: int, b2: int) -> tuple[int, int]:
+        return (b1, b2) if b1 <= b2 else (b2, b1)
+
+    # -- bucket access with accounting ------------------------------------
+
+    def _load(self, index: int) -> list[Slot]:
+        """One counted bucket read (one memory I/O, category ``filter``)."""
+        self.memory_ios.add("filter", 1)
+        return self._read_bucket(index)
+
+    def _is_empty_slot(self, slot: Slot) -> bool:
+        return slot[1] == 0 and slot[0] == self.empty_lid
+
+    def _free_index(self, slots: list[Slot]) -> int | None:
+        for i, slot in enumerate(slots):
+            if self._is_empty_slot(slot):
+                return i
+        return None
+
+    # -- core operations ----------------------------------------------------
+
+    def insert(self, key: int, lid: int) -> None:
+        """Map ``key`` to sub-level ``lid`` (one mapping per version)."""
+        self._check_lid(lid)
+        fp = self.fingerprint(key, lid)
+        entry: Slot = (lid, fp)
+        b1, b2 = self.bucket_pair(key)
+        for bucket in dict.fromkeys((b1, b2)):
+            slots = self._load(bucket)
+            free = self._free_index(slots)
+            if free is not None:
+                slots[free] = entry
+                self._write_bucket(bucket, slots)
+                self.num_entries += 1
+                return
+        self._insert_with_eviction(entry, self._rng.choice((b1, b2)))
+
+    def _insert_with_eviction(self, entry: Slot, bucket: int) -> None:
+        """Random-walk eviction; falls back to the AHT (paper's entry-
+        overflow handling, section 4.5) when the walk fails."""
+        for _ in range(_MAX_EVICTIONS):
+            slots = self._load(bucket)
+            free = self._free_index(slots)
+            if free is not None:
+                slots[free] = entry
+                self._write_bucket(bucket, slots)
+                self.num_entries += 1
+                return
+            victim_index = self._rng.randrange(self.slots)
+            victim = slots[victim_index]
+            slots[victim_index] = entry
+            self._write_bucket(bucket, slots)
+            entry = victim
+            bucket = self._partner_of_slot(bucket, entry)
+        partner = self._partner_of_slot(bucket, entry)
+        pair = self._pair_key(bucket, partner)
+        self.memory_ios.add("filter_aht", 1)
+        self.aht.setdefault(pair, []).append(entry)
+        self.num_entries += 1
+
+    def query(self, key: int) -> list[int]:
+        """All sub-levels whose stored fingerprint matches ``key``, in
+        young-to-old order — the sub-levels a point read must search."""
+        b1, b2 = self.bucket_pair(key)
+        matches: set[int] = set()
+        any_full = False
+        for bucket in dict.fromkeys((b1, b2)):
+            slots = self._load(bucket)
+            full = True
+            for lid, fp in slots:
+                if self._is_empty_slot((lid, fp)):
+                    full = False
+                    continue
+                if fp == self.fingerprint(key, lid):
+                    matches.add(lid)
+            any_full = any_full or full
+        if any_full and self.aht:
+            self.memory_ios.add("filter_aht", 1)
+            for lid, fp in self.aht.get(self._pair_key(b1, b2), ()):
+                if fp == self.fingerprint(key, lid):
+                    matches.add(lid)
+        return sorted(matches)
+
+    def update_lid(self, key: int, old_lid: int, new_lid: int) -> bool:
+        """Move one mapping of ``key`` from ``old_lid`` to ``new_lid``
+        (compaction moved the entry down the tree). ~1.5 memory I/Os.
+
+        The fingerprint is re-sliced to the new level's length (Malleable
+        Fingerprinting): all lengths share their leading bits, so the
+        bucket pair is unchanged.
+        """
+        if old_lid == new_lid:
+            return True
+        self._check_lid(new_lid)
+        old_fp = self.fingerprint(key, old_lid)
+        new_slot: Slot = (new_lid, self.fingerprint(key, new_lid))
+        old_slot: Slot = (old_lid, old_fp)
+        b1, b2 = self.bucket_pair(key)
+        for bucket in dict.fromkeys((b1, b2)):
+            slots = self._load(bucket)
+            if old_slot in slots:
+                slots[slots.index(old_slot)] = new_slot
+                self._write_bucket(bucket, slots)
+                return True
+        if self._update_in_aht(b1, b2, old_slot, new_slot):
+            return True
+        self.maintenance_misses += 1
+        return False
+
+    def remove(self, key: int, lid: int) -> bool:
+        """Delete one mapping of ``key`` at ``lid`` (compaction discarded
+        an obsolete version) — the operation Bloom filters cannot do."""
+        old_slot: Slot = (lid, self.fingerprint(key, lid))
+        b1, b2 = self.bucket_pair(key)
+        for bucket in dict.fromkeys((b1, b2)):
+            slots = self._load(bucket)
+            if old_slot in slots:
+                slots[slots.index(old_slot)] = (self.empty_lid, 0)
+                self._write_bucket(bucket, slots)
+                self.num_entries -= 1
+                self._repatriate(self._pair_key(b1, b2), bucket)
+                return True
+        if self._update_in_aht(b1, b2, old_slot, None):
+            self.num_entries -= 1
+            return True
+        self.maintenance_misses += 1
+        return False
+
+    def _update_in_aht(
+        self, b1: int, b2: int, old_slot: Slot, new_slot: Slot | None
+    ) -> bool:
+        pair = self._pair_key(b1, b2)
+        entries = self.aht.get(pair)
+        if not entries:
+            return False
+        self.memory_ios.add("filter_aht", 1)
+        if old_slot not in entries:
+            return False
+        entries.remove(old_slot)
+        if new_slot is not None:
+            entries.append(new_slot)
+        if not entries:
+            del self.aht[pair]
+        return True
+
+    def _repatriate(self, pair: tuple[int, int], bucket: int) -> None:
+        """After a removal frees a slot, pull a homeless AHT entry of the
+        same bucket pair back into the table."""
+        entries = self.aht.get(pair)
+        if not entries:
+            return
+        self.memory_ios.add("filter_aht", 1)
+        entry = entries.pop()
+        if not entries:
+            del self.aht[pair]
+        slots = self._load(bucket)
+        free = self._free_index(slots)
+        if free is None:
+            self.aht.setdefault(pair, []).append(entry)
+            return
+        slots[free] = entry
+        self._write_bucket(bucket, slots)
+
+    def _check_lid(self, lid: int) -> None:
+        if not 1 <= lid <= self._max_lid():
+            raise FilterError(f"LID {lid} out of range [1, {self._max_lid()}]")
+
+    @abstractmethod
+    def _max_lid(self) -> int:
+        """Largest representable sub-level number."""
+
+    @property
+    def load_factor(self) -> float:
+        return self.num_entries / (self.num_buckets * self.slots)
+
+    def iter_slots(self) -> "list[Slot]":
+        """All occupied (lid, fp) slots, including AHT entries (test and
+        persistence helper; uncounted)."""
+        out: list[Slot] = []
+        for index in range(self.num_buckets):
+            for slot in self._read_bucket(index):
+                if not self._is_empty_slot(slot):
+                    out.append(slot)
+        for entries in self.aht.values():
+            out.extend(entries)
+        return out
+
+
+def _buckets_for_capacity(capacity: int, slots: int, over_provision: float) -> int:
+    """Bucket count giving ``capacity`` entries at ``1 - over_provision``
+    occupancy (paper default: 5% over-provisioned space)."""
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if not 0.0 <= over_provision < 1.0:
+        raise ValueError(f"over_provision must be in [0, 1), got {over_provision}")
+    return max(2, math.ceil(capacity / (slots * (1.0 - over_provision))))
+
+
+class ChuckyFilter(CuckooLidFilterBase):
+    """The deployed design: succinctly coded LIDs + malleable fingerprints."""
+
+    def __init__(
+        self,
+        capacity: int,
+        dist: LidDistribution,
+        bits_per_entry: float = 10.0,
+        slots: int = 4,
+        nov: float = 0.9999,
+        over_provision: float = 0.05,
+        memory_ios: MemoryIOCounter | None = None,
+        seed: int = 0,
+        codebook: ChuckyCodebook | None = None,
+    ) -> None:
+        if codebook is None:
+            bucket_bits = round(bits_per_entry * slots)
+            codebook = ChuckyCodebook(
+                dist, slots=slots, bucket_bits=bucket_bits, mode="mf_fac", nov=nov
+            )
+        super().__init__(
+            num_buckets=_buckets_for_capacity(capacity, codebook.slots, over_provision),
+            slots=codebook.slots,
+            empty_lid=codebook.empty_lid,
+            memory_ios=memory_ios,
+            seed=seed,
+        )
+        self.dist = dist
+        self.bits_per_entry = bits_per_entry
+        self.over_provision = over_provision
+        self.codebook = codebook
+        self.tables = CodecTables(codebook, self.memory_ios)
+        self.codec = BucketCodec(codebook, self.tables)
+        self._buckets = [self.codec.empty_packed] * self.num_buckets
+        #: Fingerprints of rare-combination buckets (FAC escape codes).
+        self.overflow: dict[int, list[int]] = {}
+
+    # -- representation -----------------------------------------------------
+
+    def _fp_length(self, lid: int) -> int:
+        return self.codebook.fp_length(lid)
+
+    def _max_lid(self) -> int:
+        return self.dist.num_sublevels
+
+    def _read_bucket(self, index: int) -> list[Slot]:
+        overflow_fps = self.overflow.get(index)
+        if overflow_fps is not None:
+            # One extra memory I/O to fetch the spilled fingerprints.
+            self.memory_ios.add("filter_ovf", 1)
+        return self.codec.unpack(self._buckets[index], overflow_fps)
+
+    def _write_bucket(self, index: int, slots: list[Slot]) -> None:
+        packed, overflow_fps = self.codec.pack(slots)
+        self._buckets[index] = packed
+        if overflow_fps is None:
+            self.overflow.pop(index, None)
+        else:
+            self.memory_ios.add("filter_ovf", 1)
+            self.overflow[index] = overflow_fps
+
+    # -- footprint ------------------------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        """CF array + overflow HT + AHT, in bits."""
+        bucket_bits = self.num_buckets * self.codebook.bucket_bits
+        overflow_bits = sum(
+            32 + 64 * len(fps) for fps in self.overflow.values()
+        )
+        aht_bits = sum((16 + 64) * len(v) + 64 for v in self.aht.values())
+        return bucket_bits + overflow_bits + aht_bits
+
+    # -- persistence (paper section 4.5) ---------------------------------------
+
+    def persist(self) -> bytes:
+        """Serialize buckets, overflow HT and AHT — fingerprints only,
+        never the data."""
+        writer = BitWriter()
+        writer.write(self.num_buckets, 32)
+        writer.write(self.slots, 8)
+        writer.write(self.codebook.bucket_bits, 16)
+        writer.write(self.num_entries, 40)
+        for packed in self._buckets:
+            writer.write(packed, self.codebook.bucket_bits)
+        writer.write(len(self.overflow), 32)
+        for index, fps in sorted(self.overflow.items()):
+            writer.write(index, 32)
+            writer.write(len(fps), 8)
+            for fp in fps:
+                writer.write(fp, 64)
+        aht_items = [
+            (pair, slot) for pair, slots in sorted(self.aht.items()) for slot in slots
+        ]
+        writer.write(len(aht_items), 32)
+        for (lo, hi), (lid, fp) in aht_items:
+            writer.write(lo, 32)
+            writer.write(hi, 32)
+            writer.write(lid, 16)
+            writer.write(fp, 64)
+        return writer.to_bytes()
+
+    @classmethod
+    def recover(
+        cls,
+        data: bytes,
+        dist: LidDistribution,
+        bits_per_entry: float = 10.0,
+        slots: int = 4,
+        nov: float = 0.9999,
+        over_provision: float = 0.05,
+        memory_ios: MemoryIOCounter | None = None,
+        seed: int = 0,
+    ) -> "ChuckyFilter":
+        """Rebuild a filter from :meth:`persist` output.
+
+        The codebook is deterministic in the geometry, so only the packed
+        buckets travel. Charges one memory I/O per restored bucket (the
+        'practically constant amortized cost per entry' of section 4.5).
+        """
+        reader = BitReader.from_bytes(data)
+        num_buckets = reader.read(32)
+        read_slots = reader.read(8)
+        bucket_bits = reader.read(16)
+        num_entries = reader.read(40)
+        if read_slots != slots:
+            raise FilterError(
+                f"persisted filter has S={read_slots}, expected {slots}"
+            )
+        if bucket_bits != round(bits_per_entry * slots):
+            raise FilterError(
+                f"persisted bucket is {bucket_bits} bits, expected "
+                f"{round(bits_per_entry * slots)}"
+            )
+        filt = cls.__new__(cls)
+        codebook = ChuckyCodebook(
+            dist, slots=slots, bucket_bits=bucket_bits, mode="mf_fac", nov=nov
+        )
+        CuckooLidFilterBase.__init__(
+            filt,
+            num_buckets=num_buckets,
+            slots=slots,
+            empty_lid=codebook.empty_lid,
+            memory_ios=memory_ios,
+            seed=seed,
+        )
+        filt.dist = dist
+        filt.bits_per_entry = bits_per_entry
+        filt.over_provision = over_provision
+        filt.codebook = codebook
+        filt.tables = CodecTables(codebook, filt.memory_ios)
+        filt.codec = BucketCodec(codebook, filt.tables)
+        filt._buckets = [reader.read(bucket_bits) for _ in range(num_buckets)]
+        filt.memory_ios.add("filter", num_buckets)
+        filt.overflow = {}
+        for _ in range(reader.read(32)):
+            index = reader.read(32)
+            count = reader.read(8)
+            filt.overflow[index] = [reader.read(64) for _ in range(count)]
+        for _ in range(reader.read(32)):
+            lo = reader.read(32)
+            hi = reader.read(32)
+            lid = reader.read(16)
+            fp = reader.read(64)
+            filt.aht.setdefault((lo, hi), []).append((lid, fp))
+        filt.num_entries = num_entries
+        return filt
+
+
+class UncompressedLidFilter(CuckooLidFilterBase):
+    """Cuckoo filter with fixed-width integer LIDs — the SlimDB stand-in.
+
+    Every slot spends ``ceil(log2 A)`` bits on the LID, stealing them
+    from the fingerprint; the FPR therefore grows with the number of
+    levels (Eq 6 / Figure 14 B's 'Chucky uncomp.' curve).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        dist: LidDistribution,
+        bits_per_entry: float = 10.0,
+        slots: int = 4,
+        over_provision: float = 0.05,
+        memory_ios: MemoryIOCounter | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.dist = dist
+        self.lid_bits = max(1, math.ceil(math.log2(dist.num_sublevels)))
+        self.fp_bits = max(FP_MIN, round(bits_per_entry) - self.lid_bits)
+        super().__init__(
+            num_buckets=_buckets_for_capacity(capacity, slots, over_provision),
+            slots=slots,
+            empty_lid=dist.most_probable_lid(),
+            memory_ios=memory_ios,
+            seed=seed,
+        )
+        self._buckets: list[list[Slot]] = [
+            [(self.empty_lid, 0)] * slots for _ in range(self.num_buckets)
+        ]
+
+    def _fp_length(self, lid: int) -> int:
+        return self.fp_bits
+
+    def _max_lid(self) -> int:
+        return self.dist.num_sublevels
+
+    def _read_bucket(self, index: int) -> list[Slot]:
+        return list(self._buckets[index])
+
+    def _write_bucket(self, index: int, slots: list[Slot]) -> None:
+        self._buckets[index] = list(slots)
+
+    @property
+    def size_bits(self) -> int:
+        per_slot = self.lid_bits + self.fp_bits
+        aht_bits = sum((16 + 64) * len(v) + 64 for v in self.aht.values())
+        return self.num_buckets * self.slots * per_slot + aht_bits
+
+    def expected_fpr(self) -> float:
+        """Eq 6: ``2 S 2^{-F}`` with F shrunk by the integer LID width."""
+        return 2.0 * self.slots * 2.0 ** (-self.fp_bits)

@@ -1,0 +1,129 @@
+"""Malleable Fingerprinting — Algorithm 1 of the paper (section 4.3).
+
+Chooses an integer fingerprint length per LSM-tree level so as to
+maximize the average fingerprint length ``sum_i FP_i p_i`` subject to a
+bucket-alignment constraint. Entries at larger levels (more probable,
+shorter combination codes) get longer fingerprints; as an entry merges
+down the tree its fingerprint grows.
+
+Two constraint flavours, matching the paper:
+
+* Eq 14 (plain MF): for every frequent combination, the Huffman code
+  length plus the cumulative fingerprint length must fit the bucket.
+* Eq 15 (MF + Fluid Alignment Coding): Kraft–McMillan feasibility — it
+  must be *possible* to build a prefix code where each frequent
+  combination's code exactly fills its bucket's leftover bits and every
+  rare combination gets a bucket-sized escape code.
+
+The hill-climb lengthens fingerprints greedily from the largest level
+(steepest ascent: its entries dominate the filter), with the achieved
+length capping smaller levels (the paper's ``FP_max`` update).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.coding.distributions import Combination, LidDistribution
+from repro.common.errors import CodebookError
+from repro.common.hashing import FP_MIN
+
+#: A combination's per-level occupancy: counts[level-1] = how many of the
+#: bucket's S LIDs belong to that level. Many combinations share one
+#: vector, which makes constraint evaluation cheap.
+LevelCounts = tuple[int, ...]
+
+
+def level_count_vector(combo: Combination, dist: LidDistribution) -> LevelCounts:
+    counts = [0] * dist.num_levels
+    for lid in combo:
+        counts[dist.level_of_lid(lid) - 1] += 1
+    return tuple(counts)
+
+
+def cumulative_fp_length(counts: LevelCounts, fp_by_level: list[int]) -> int:
+    """``c_FP``: total fingerprint bits of a bucket with this occupancy."""
+    return sum(c * fp for c, fp in zip(counts, fp_by_level))
+
+
+def _kraft_constraint(
+    freq_vectors: Mapping[LevelCounts, int],
+    num_rare: int,
+    bucket_bits: int,
+) -> Callable[[list[int]], bool]:
+    """Eq 15: ``sum_{c in C_freq} 2^-(B - c_FP) + |rare| 2^-B <= 1``.
+
+    Frequent combinations are pre-grouped by level-count vector (the only
+    thing ``c_FP`` depends on), so one evaluation is O(#vectors). The
+    inequality is evaluated exactly in integers, scaled by ``2^B``.
+    """
+    budget = 1 << bucket_bits
+
+    def satisfied(fp_by_level: list[int]) -> bool:
+        total = num_rare
+        for counts, n in freq_vectors.items():
+            cfp = cumulative_fp_length(counts, fp_by_level)
+            # Every frequent combination also needs a code of >= 1 bit.
+            if cfp >= bucket_bits:
+                return False
+            total += n << cfp
+            if total > budget:
+                return False
+        return True
+
+    return satisfied
+
+
+def _fit_constraint(
+    freq_vector_max_code: Mapping[LevelCounts, int],
+    bucket_bits: int,
+) -> Callable[[list[int]], bool]:
+    """Eq 14: for every frequent combination, ``c_FP + l_c <= B``.
+
+    ``freq_vector_max_code`` maps each level-count vector to the longest
+    Huffman code among its frequent combinations (the binding one).
+    """
+
+    def satisfied(fp_by_level: list[int]) -> bool:
+        for counts, max_code in freq_vector_max_code.items():
+            if cumulative_fp_length(counts, fp_by_level) + max_code > bucket_bits:
+                return False
+        return True
+
+    return satisfied
+
+
+def maximize_fingerprints(
+    num_levels: int,
+    constraint: Callable[[list[int]], bool],
+    fp_min: int = FP_MIN,
+    fp_max: int | None = None,
+) -> list[int]:
+    """Algorithm 1: hill-climb per-level fingerprint lengths.
+
+    Returns ``fp_by_level`` (index level-1). Raises
+    :class:`CodebookError` when even the all-``fp_min`` assignment
+    violates the constraint — the memory budget is too small for this
+    geometry (the paper's "Chucky requires at least eight bits per
+    entry").
+    """
+    if fp_max is None:
+        fp_max = 64
+    fp_max = min(fp_max, 64)
+    fp_by_level = [fp_min] * num_levels
+    if not constraint(fp_by_level):
+        raise CodebookError(
+            f"bucket too small: even {fp_min}-bit fingerprints violate the "
+            f"alignment constraint for {num_levels} levels"
+        )
+    current_max = fp_max
+    for level in range(num_levels, 0, -1):
+        i = level - 1
+        for b in range(fp_min + 1, current_max + 1):
+            previous = fp_by_level[i]
+            fp_by_level[i] = b
+            if not constraint(fp_by_level):
+                fp_by_level[i] = previous
+                current_max = previous
+                break
+    return fp_by_level

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands for poking at the system without writing code:
+
+* ``info``      — package, geometry and codebook overview
+* ``fpr``       — model + measured FPR comparison for one geometry
+* ``codebook``  — the full coding plan for one geometry
+* ``workload``  — run a mixed workload and print latency + metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro import __version__
+from repro.analysis.fpr_models import (
+    fpr_bloom_optimal,
+    fpr_bloom_uniform,
+    fpr_chucky_model,
+    fpr_cuckoo_integer_lids,
+)
+from repro.analysis.measured import collect_metrics
+from repro.chucky.codebook import ChuckyCodebook
+from repro.chucky.policy import ChuckyPolicy
+from repro.coding.distributions import LidDistribution
+from repro.coding.entropy import (
+    combination_entropy_per_lid,
+    huffman_acl,
+    lid_entropy_exact,
+)
+from repro.common.errors import CodebookError
+from repro.engine.kvstore import KVStore
+from repro.filters.policy import BloomFilterPolicy, NoFilterPolicy, XorFilterPolicy
+from repro.lsm.config import LSMConfig
+
+
+def _add_geometry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size-ratio", "-t", type=int, default=5,
+                        help="T, the level size ratio (default 5)")
+    parser.add_argument("--levels", "-l", type=int, default=6,
+                        help="L, number of levels (default 6)")
+    parser.add_argument("--runs-per-level", "-k", type=int, default=1,
+                        help="K, sub-levels per inner level (default 1)")
+    parser.add_argument("--runs-at-last", "-z", type=int, default=1,
+                        help="Z, sub-levels at the largest level (default 1)")
+    parser.add_argument("--bits", "-m", type=float, default=10.0,
+                        help="memory budget in bits per entry (default 10)")
+
+
+def _dist(args) -> LidDistribution:
+    return LidDistribution(
+        args.size_ratio, args.levels, args.runs_per_level, args.runs_at_last
+    )
+
+
+def cmd_info(args) -> int:
+    dist = _dist(args)
+    print(f"repro {__version__} — Chucky (SIGMOD 2021) reproduction")
+    print(f"geometry: T={args.size_ratio} L={args.levels} "
+          f"K={args.runs_per_level} Z={args.runs_at_last} "
+          f"-> A={dist.num_sublevels} sub-levels")
+    print(f"LID entropy H          : {lid_entropy_exact(dist):.4f} bits")
+    print(f"per-LID Huffman ACL    : {huffman_acl(dist):.4f} bits")
+    print(f"combination H (S=4)    : {combination_entropy_per_lid(dist, 4):.4f} bits")
+    return 0
+
+
+def cmd_fpr(args) -> int:
+    t, l, k, z, m = (
+        args.size_ratio, args.levels, args.runs_per_level,
+        args.runs_at_last, args.bits,
+    )
+    print(f"expected false positives per lookup at M={m:g} bits/entry:")
+    print(f"  uniform Bloom filters (Eq 2)  : {fpr_bloom_uniform(m, l, k, z):.5f}")
+    print(f"  optimal Bloom filters (Eq 3)  : {fpr_bloom_optimal(m, t, k, z):.5f}")
+    print(f"  integer-LID cuckoo    (Eq 6)  : {fpr_cuckoo_integer_lids(m, l, k, z):.5f}")
+    print(f"  Chucky model          (Eq 16) : {fpr_chucky_model(m, t, k, z):.5f}")
+    try:
+        cb = ChuckyCodebook(_dist(args), slots=4, bucket_bits=round(m * 4))
+        print(f"  Chucky codebook (this build)  : {cb.expected_fpr():.5f}")
+    except CodebookError as exc:
+        print(f"  Chucky codebook (this build)  : infeasible ({exc})")
+    return 0
+
+
+def cmd_codebook(args) -> int:
+    try:
+        cb = ChuckyCodebook(
+            _dist(args), slots=4, bucket_bits=round(args.bits * 4)
+        )
+    except CodebookError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    print(f"bucket: {cb.bucket_bits} bits, S={cb.slots}, NOV={cb.nov}")
+    print(f"combinations: |C|={len(cb.probabilities)} "
+          f"|C_freq|={len(cb.frequent)} (mass {cb.frequent_mass:.6f})")
+    print(f"fingerprints by level: {cb.fp_by_level} "
+          f"(avg {cb.average_fp_bits():.3f} bits)")
+    print(f"code cost: {cb.average_code_bits_per_entry():.3f} bits/entry")
+    print(f"overflow probability: {cb.overflow_probability():.2e}")
+    print(f"expected FPR: {cb.expected_fpr():.5f}")
+    return 0
+
+
+_POLICIES = {
+    "chucky": lambda m: ChuckyPolicy(bits_per_entry=m),
+    "chucky-uncompressed": lambda m: ChuckyPolicy(bits_per_entry=m, compressed=False),
+    "bloom": lambda m: BloomFilterPolicy(m, "blocked", "optimal"),
+    "bloom-standard": lambda m: BloomFilterPolicy(m, "standard", "uniform"),
+    "xor": lambda m: XorFilterPolicy(m),
+    "none": lambda m: NoFilterPolicy(),
+}
+
+
+def cmd_workload(args) -> int:
+    config = LSMConfig(
+        size_ratio=args.size_ratio,
+        runs_per_level=args.runs_per_level,
+        runs_at_last_level=args.runs_at_last,
+        buffer_entries=args.buffer,
+        block_entries=16,
+    )
+    store = KVStore(
+        config,
+        filter_policy=_POLICIES[args.policy](args.bits),
+        cache_blocks=args.cache_blocks,
+    )
+    rng = random.Random(args.seed)
+    universe = max(16, args.ops // 2)
+    print(f"running {args.ops} writes + {args.reads} reads "
+          f"({args.policy}, T={args.size_ratio}) ...")
+    for i in range(args.ops):
+        store.put(rng.randrange(universe), f"v{i}")
+    snap = store.snapshot()
+    hits = 0
+    for _ in range(args.reads):
+        hits += store.get(rng.randrange(universe)) is not None
+    lat = store.latency_since(snap, operations=args.reads)
+    print(f"reads: {hits}/{args.reads} hits, "
+          f"{lat.total_ns:.0f} ns/read modelled "
+          f"(filter {lat.filter_ns:.0f}, fence {lat.fence_ns:.0f}, "
+          f"storage {lat.storage_ns:.0f})")
+    metrics = collect_metrics(store)
+    for name, value in metrics.as_dict().items():
+        print(f"  {name:24s}: {value:g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chucky (SIGMOD 2021) reproduction — inspection CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="geometry and entropy overview")
+    _add_geometry(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_fpr = sub.add_parser("fpr", help="FPR model comparison")
+    _add_geometry(p_fpr)
+    p_fpr.set_defaults(func=cmd_fpr)
+
+    p_cb = sub.add_parser("codebook", help="show the Chucky coding plan")
+    _add_geometry(p_cb)
+    p_cb.set_defaults(func=cmd_codebook)
+
+    p_wl = sub.add_parser("workload", help="run a workload end to end")
+    _add_geometry(p_wl)
+    p_wl.add_argument("--policy", choices=sorted(_POLICIES), default="chucky")
+    p_wl.add_argument("--ops", type=int, default=5000)
+    p_wl.add_argument("--reads", type=int, default=2000)
+    p_wl.add_argument("--buffer", type=int, default=64)
+    p_wl.add_argument("--cache-blocks", type=int, default=256)
+    p_wl.add_argument("--seed", type=int, default=0)
+    p_wl.set_defaults(func=cmd_workload)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

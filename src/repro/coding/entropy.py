@@ -1,0 +1,155 @@
+"""Entropy and average-code-length analysis (paper Eqs 9, 11, 13).
+
+Backs Figures 5, 6 and 8: the convergence of the Huffman ACL with data
+size, its gap to the entropy, and how grouping LIDs into permutations or
+combinations closes that gap.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from itertools import product
+
+from repro.coding.distributions import (
+    LidDistribution,
+    combination_weights,
+)
+from repro.coding.golomb import golomb_lid_code_lengths
+from repro.coding.huffman import huffman_code_lengths
+
+
+def lid_entropy(
+    size_ratio: int, runs_per_level: int = 1, runs_at_last_level: int = 1
+) -> float:
+    """Asymptotic LID entropy H (Eq 9), in bits per LID.
+
+    Closed form of ``lim_{A->inf} -sum f_j log2 f_j``::
+
+        H = T/(T-1) log2 T - log2(T-1) + (T-1)/T log2 Z + 1/T log2 K
+
+    Converges because smaller levels' exponentially shrinking
+    probabilities beat their growing code lengths.
+    """
+    t = size_ratio
+    if t < 2:
+        raise ValueError(f"size ratio T must be >= 2, got {t}")
+    return (
+        t / (t - 1) * math.log2(t)
+        - math.log2(t - 1)
+        + (t - 1) / t * math.log2(runs_at_last_level)
+        + 1 / t * math.log2(runs_per_level)
+    )
+
+
+def lid_entropy_exact(dist: LidDistribution) -> float:
+    """Exact Shannon entropy of the finite LID distribution, bits/LID."""
+    return -sum(
+        float(f) * math.log2(float(f)) for f in dist.probabilities() if f > 0
+    )
+
+
+def average_code_length(
+    lengths: Mapping[object, int], weights: Mapping[object, float]
+) -> float:
+    """Probability-weighted mean code length, ``sum l_j f_j`` (section 4.2)."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("weights must have positive total")
+    return sum(weights[s] * lengths[s] for s in weights) / total
+
+
+def huffman_acl(dist: LidDistribution) -> float:
+    """ACL of a Huffman code over individual LIDs, bits/LID (Figure 5)."""
+    weights = dist.weights()
+    lengths = huffman_code_lengths(weights)
+    return average_code_length(lengths, weights)
+
+
+def integer_acl(dist: LidDistribution) -> float:
+    """Bits/LID under fixed-width binary (integer) encoding: ceil(log2 A).
+
+    The SlimDB approach — grows with the data size (Figure 5's 'binary
+    encoding' curve and Eq 6).
+    """
+    return max(1, math.ceil(math.log2(dist.num_sublevels)))
+
+
+def acl_upper_bound(
+    size_ratio: int, runs_per_level: int = 1, runs_at_last_level: int = 1
+) -> float:
+    """Asymptotic tight ACL upper bound ``ACL_UB`` (Eq 11)::
+
+        ACL_UB = T/(T-1) + log2(K^{1/T} * Z^{(T-1)/T})
+
+    The average length of the unary + truncated-binary (Golomb) encoding;
+    Huffman is optimal so its ACL is at most this.
+    """
+    t = size_ratio
+    if t < 2:
+        raise ValueError(f"size ratio T must be >= 2, got {t}")
+    return t / (t - 1) + math.log2(
+        runs_per_level ** (1 / t)
+        * runs_at_last_level ** ((t - 1) / t)
+    )
+
+
+def acl_upper_bound_exact(dist: LidDistribution) -> float:
+    """Finite-L ACL of the Eq-11 Golomb encoding: ``sum p_i (L-i+1 +
+    |truncated binary suffix|)`` averaged over the actual sub-levels."""
+    sublevel_counts = [
+        dist.runs_per_level if level < dist.num_levels else dist.runs_at_last_level
+        for level in range(1, dist.num_levels + 1)
+    ]
+    lengths = golomb_lid_code_lengths(dist.num_levels, sublevel_counts)
+    weights = dist.weights()
+    return average_code_length(lengths, weights)
+
+
+def combination_entropy_per_lid(dist: LidDistribution, slots: int) -> float:
+    """Entropy of the bucket-combination distribution per LID (Eq 13)::
+
+        H_comb = H - 1/S [ log2(S!) - sum_j sum_i C(S,i) f^i (1-f)^{S-i} log2(i!) ]
+
+    The standard multinomial-entropy identity: discarding the ordering of
+    the S slots removes ``log2(S!)`` bits but gives back the expected
+    log-multiplicity of repeated LIDs.
+    """
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
+    h = lid_entropy_exact(dist)
+    correction = math.log2(math.factorial(slots))
+    for f in dist.probabilities():
+        fj = float(f)
+        expected = 0.0
+        for i in range(slots + 1):
+            pmf = math.comb(slots, i) * fj**i * (1 - fj) ** (slots - i)
+            expected += pmf * math.log2(math.factorial(i))
+        correction -= expected
+    return h - correction / slots
+
+
+def grouped_acl(dist: LidDistribution, group_size: int, mode: str = "perm") -> float:
+    """ACL per LID of a Huffman code over groups of LIDs (Figures 6, 8).
+
+    ``mode='perm'``: symbols are ordered tuples of ``group_size`` LIDs
+    with product probabilities (alphabet A^g).
+    ``mode='comb'``: symbols are multisets with multinomial probabilities
+    (alphabet C(A+g-1, g)) — strictly better, and what Chucky deploys.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if mode == "perm":
+        lid_weights = dist.weights()
+        weights: dict[tuple[int, ...], float] = {}
+        for combo in product(dist.lids, repeat=group_size):
+            w = 1.0
+            for lid in combo:
+                w *= lid_weights[lid]
+            weights[combo] = w
+    elif mode == "comb":
+        weights = combination_weights(dist, group_size)
+    else:
+        raise ValueError(f"mode must be 'perm' or 'comb', got {mode!r}")
+    lengths = huffman_code_lengths(weights)
+    return average_code_length(lengths, weights) / group_size

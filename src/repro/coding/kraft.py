@@ -1,0 +1,113 @@
+"""Kraft–McMillan utilities and canonical prefix codes.
+
+Fluid Alignment Coding (paper section 4.3, Eq 15) chooses code *lengths*
+directly — ``B - c_FP`` for frequent combinations, ``B`` for the escape
+space — and relies on the Kraft–McMillan inequality to guarantee that a
+uniquely decodable (indeed prefix-free) code with those lengths exists.
+:class:`CanonicalCode` performs that materialization: given any feasible
+length assignment it produces the canonical prefix code, an encoder, and
+a prefix decoder.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from fractions import Fraction
+from typing import TypeVar
+
+Symbol = TypeVar("Symbol", bound=Hashable)
+
+
+def kraft_sum(lengths: Mapping[Symbol, int] | list[int]) -> Fraction:
+    """The exact Kraft sum ``sum(2^-l)`` as a Fraction (no float error)."""
+    values = lengths.values() if isinstance(lengths, Mapping) else lengths
+    total = Fraction(0)
+    for l in values:
+        if l < 0:
+            raise ValueError(f"code length must be >= 0, got {l}")
+        total += Fraction(1, 1 << l)
+    return total
+
+
+def lengths_are_feasible(lengths: Mapping[Symbol, int] | list[int]) -> bool:
+    """True iff a prefix-free code with these lengths exists (Kraft <= 1)."""
+    return kraft_sum(lengths) <= 1
+
+
+class CanonicalCode:
+    """A canonical prefix code for a feasible length assignment.
+
+    Symbols are sorted by (length, repr-stable order) and assigned
+    consecutive codewords per the canonical construction. Decoding uses
+    the standard first-code/offset tables, O(max_length) per symbol worst
+    case but typically a couple of comparisons.
+    """
+
+    def __init__(self, lengths: Mapping[Symbol, int]) -> None:
+        if not lengths:
+            raise ValueError("cannot build a code over an empty alphabet")
+        for sym, l in lengths.items():
+            if l < 1:
+                raise ValueError(f"length for {sym!r} must be >= 1, got {l}")
+        if not lengths_are_feasible(lengths):
+            raise ValueError(
+                f"Kraft sum {float(kraft_sum(lengths)):.6f} > 1: no prefix code"
+            )
+
+        # Canonical order: ascending length; ties broken by insertion
+        # order of the mapping (deterministic for our callers, which
+        # build dicts in a fixed enumeration order).
+        ordered = sorted(lengths.items(), key=lambda kv: kv[1])
+        self._max_len = ordered[-1][1]
+        self._encode: dict[Symbol, tuple[int, int]] = {}
+
+        # first_code[l]: canonical codeword value of the first code of
+        # length l; symbols_at[l]: symbols of length l in order.
+        self._symbols_at: dict[int, list[Symbol]] = {}
+        self._first_code: dict[int, int] = {}
+        code = 0
+        prev_len = ordered[0][1]
+        for sym, l in ordered:
+            code <<= l - prev_len
+            prev_len = l
+            if l not in self._first_code:
+                self._first_code[l] = code
+                self._symbols_at[l] = []
+            self._symbols_at[l].append(sym)
+            self._encode[sym] = (code, l)
+            code += 1
+
+    @property
+    def max_length(self) -> int:
+        return self._max_len
+
+    def encode(self, symbol: Symbol) -> tuple[int, int]:
+        """(codeword, length) for ``symbol``; raises KeyError if unknown."""
+        return self._encode[symbol]
+
+    def codewords(self) -> dict[Symbol, tuple[int, int]]:
+        """All (codeword, length) pairs."""
+        return dict(self._encode)
+
+    def decode_prefix(self, value: int, bit_length: int) -> tuple[Symbol, int]:
+        """Decode the symbol encoded at the front of ``value``.
+
+        ``value`` holds ``bit_length`` bits, MSB-first; the codeword
+        occupies the leading bits. Returns (symbol, bits consumed).
+        Raises ValueError if no codeword matches.
+        """
+        for l in sorted(self._first_code):
+            if l > bit_length:
+                break
+            prefix = value >> (bit_length - l)
+            first = self._first_code[l]
+            index = prefix - first
+            symbols = self._symbols_at[l]
+            if 0 <= index < len(symbols):
+                # Canonical property: a prefix in [first, first+count) at
+                # this length is a valid codeword only if no shorter code
+                # matched first — shorter lengths were already tried.
+                return symbols[index], l
+        raise ValueError(
+            f"no codeword matches the leading bits of {value:#x} ({bit_length} bits)"
+        )

@@ -1,0 +1,136 @@
+"""MSB-first bit-level writer and reader.
+
+Used by the Chucky bucket codec (to pack a variable-length combination
+code followed by variable-length fingerprints into a fixed-size bucket)
+and by the persistence layer (to dump fingerprints compactly).
+
+Bits are emitted most-significant-first, which makes the packed integer
+directly comparable with a left-aligned code: a bucket whose first bits
+form a canonical Huffman code can be decoded by peeking at its prefix.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into an unbounded integer buffer."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._length
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits holding ``value`` (MSB-first).
+
+        ``value`` must fit in ``width`` bits; ``width`` may be zero, in
+        which case nothing is written.
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._length += width
+
+    def write_unary(self, count: int) -> None:
+        """Append ``count`` one-bits followed by a terminating zero-bit."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.write((1 << count) - 1, count)
+        self.write(0, 1)
+
+    def pad_to(self, total_bits: int) -> None:
+        """Right-pad with zero bits until the buffer is ``total_bits`` long."""
+        if total_bits < self._length:
+            raise ValueError(
+                f"cannot pad down: have {self._length} bits, asked for {total_bits}"
+            )
+        self.write(0, total_bits - self._length)
+
+    def getvalue(self) -> int:
+        """The packed bits as a non-negative integer (left-aligned at bit
+        ``bit_length - 1``)."""
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        """The packed bits as bytes, zero-padded on the right to a byte
+        boundary."""
+        nbytes = (self._length + 7) // 8
+        pad = nbytes * 8 - self._length
+        return (self._value << pad).to_bytes(nbytes, "big") if nbytes else b""
+
+
+class BitReader:
+    """Reads bits MSB-first from an integer produced by :class:`BitWriter`."""
+
+    def __init__(self, value: int, bit_length: int) -> None:
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if value.bit_length() > bit_length:
+            raise ValueError(
+                f"value needs {value.bit_length()} bits but bit_length={bit_length}"
+            )
+        self._value = value
+        self._length = bit_length
+        self._pos = 0
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BitReader":
+        return cls(int.from_bytes(data, "big"), len(data) * 8)
+
+    @property
+    def position(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of bits left to read."""
+        return self._length - self._pos
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width`` bits as an integer."""
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if width > self.remaining:
+            raise EOFError(f"asked for {width} bits, only {self.remaining} left")
+        shift = self._length - self._pos - width
+        mask = (1 << width) - 1
+        self._pos += width
+        return (self._value >> shift) & mask
+
+    def read_unary(self) -> int:
+        """Consume a unary code (ones terminated by a zero); return the
+        number of one-bits."""
+        count = 0
+        while self.read(1) == 1:
+            count += 1
+        return count
+
+    def peek(self, width: int) -> int:
+        """Return the next ``width`` bits without consuming them.
+
+        If fewer than ``width`` bits remain, the result is zero-padded on
+        the right (useful for fixed-width canonical-code table lookups
+        near the end of a bucket).
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        available = min(width, self.remaining)
+        shift = self._length - self._pos - available
+        bits = (self._value >> shift) & ((1 << available) - 1)
+        return bits << (width - available)
+
+    def skip(self, width: int) -> None:
+        """Advance the cursor by ``width`` bits."""
+        if width > self.remaining:
+            raise EOFError(f"cannot skip {width} bits, only {self.remaining} left")
+        self._pos += width

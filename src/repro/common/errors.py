@@ -1,0 +1,22 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CapacityError(ReproError):
+    """A structure has run out of space (e.g. a Cuckoo insertion failed
+    after exhausting its eviction budget, or an LSM level cannot accept
+    another run)."""
+
+
+class FilterError(ReproError):
+    """A filter was used incorrectly (e.g. deleting a key that was never
+    inserted, or querying with an out-of-range level ID)."""
+
+
+class CodebookError(ReproError):
+    """A codebook could not be constructed for the requested geometry
+    (e.g. the memory budget is too small to represent all combinations
+    uniquely, violating 2^B >= |C|)."""

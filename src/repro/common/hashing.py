@@ -1,0 +1,112 @@
+"""Deterministic 64-bit hashing and fingerprint derivation.
+
+Chucky's Malleable Fingerprinting assigns *different fingerprint lengths*
+to versions of the same key at different LSM-tree levels, yet all
+versions must land in the same pair of Cuckoo-filter buckets (paper
+section 4.3). We achieve this the way the paper prescribes: a
+fingerprint of length F is the *top F bits* of a fixed 64-bit digest, so
+every fingerprint of a key shares its first ``FP_MIN`` bits, and the
+partial-key bucket computation (Eq 4) uses only those shared bits.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+#: Minimum fingerprint length in bits (paper section 4.3 sets this to 5,
+#: following the original Cuckoo-filter paper, so that the two candidate
+#: buckets are independent enough for 95% occupancy).
+FP_MIN = 5
+
+
+def splitmix64(x: int) -> int:
+    """SplitMix64 finalizer: a fast, high-quality 64-bit mix function.
+
+    Used for key digests, bucket addressing and fingerprint-to-offset
+    hashing. Deterministic across runs and platforms.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def key_digest(key: int | str | bytes, seed: int = 0) -> int:
+    """A stable 64-bit digest of a key.
+
+    Integer keys are mixed directly; strings/bytes are folded 8 bytes at
+    a time through splitmix64. The ``seed`` decorrelates independent hash
+    uses (e.g. the h probes of a Bloom filter).
+    """
+    if isinstance(key, int):
+        return splitmix64((key & _MASK64) ^ splitmix64(seed))
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    acc = splitmix64(seed ^ len(key))
+    for i in range(0, len(key), 8):
+        chunk = int.from_bytes(key[i : i + 8], "little")
+        acc = splitmix64(acc ^ chunk)
+    return acc
+
+
+def fingerprint_bits(
+    key: int | str | bytes, length: int, fp_min: int = FP_MIN, seed: int = 1
+) -> int:
+    """Derive a ``length``-bit fingerprint as the top bits of the key digest.
+
+    All lengths of the same key agree on their leading ``fp_min`` bits (a
+    prefix property required by Malleable Fingerprinting, which re-derives
+    the alternative bucket from those bits alone). The shared prefix is
+    forced non-zero — by setting its lowest bit when the digest's top
+    ``fp_min`` bits happen to be zero — so no fingerprint of length >=
+    ``fp_min`` can collide with the reserved all-zero empty-slot marker
+    (paper section 4.5), and the forcing is identical for every length.
+    """
+    if not fp_min <= length <= 64:
+        raise ValueError(
+            f"fingerprint length must be in [{fp_min}, 64], got {length}"
+        )
+    digest = key_digest(key, seed=seed)
+    if digest >> (64 - fp_min) == 0:
+        digest |= 1 << (64 - fp_min)
+    return digest >> (64 - length)
+
+
+def bucket_pair(
+    key: int | str | bytes,
+    num_buckets: int,
+    fp: int,
+    fp_length: int,
+    fp_min: int = FP_MIN,
+    seed: int = 2,
+) -> tuple[int, int]:
+    """The two candidate bucket indices for a key (Eq 4).
+
+    ``num_buckets`` must be a power of two (the xor trick requires it).
+    The alternative bucket is derived from the *first* ``fp_min`` bits of
+    the fingerprint only, so different-length fingerprints of one key map
+    to the same pair.
+    """
+    if num_buckets & (num_buckets - 1):
+        raise ValueError(f"num_buckets must be a power of two, got {num_buckets}")
+    mask = num_buckets - 1
+    b1 = key_digest(key, seed=seed) & mask
+    b2 = b1 ^ alt_offset(fp, fp_length, num_buckets, fp_min)
+    return b1, b2
+
+
+def alt_offset(fp: int, fp_length: int, num_buckets: int, fp_min: int = FP_MIN) -> int:
+    """The xor offset between a fingerprint's two buckets (Eq 4, partial-key).
+
+    Uses only the top ``fp_min`` bits of the fingerprint so that every
+    version of a key — whatever its malleable fingerprint length —
+    computes the same offset. The offset is forced non-zero so the two
+    candidate buckets always differ.
+    """
+    if fp_length < fp_min:
+        raise ValueError(f"fingerprint has {fp_length} bits, need >= {fp_min}")
+    prefix = fp >> (fp_length - fp_min)
+    offset = splitmix64(prefix ^ 0xC2B2AE3D27D4EB4F) & (num_buckets - 1)
+    if offset == 0:
+        offset = 1
+    return offset

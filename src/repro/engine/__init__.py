@@ -1,0 +1,6 @@
+"""The key-value store engine: memtable + LSM-tree + filter policy +
+block cache + cost model, wired together behind one public facade."""
+
+from repro.engine.kvstore import CrashState, KVStore, ReadResult
+
+__all__ = ["CrashState", "KVStore", "ReadResult"]

@@ -1,0 +1,361 @@
+"""The KVStore facade — the paper's full system under test.
+
+Wires a memtable, a Dostoevsky LSM-tree, a filter policy (Chucky, Bloom
+variants, or none), a block cache and the latency cost model together.
+Point reads follow the paper's workflow exactly: memtable, then the
+filter's candidate sub-levels youngest-to-oldest, fetching one block per
+probed run through fence pointers and the cache, stopping at the first
+hit. Writes buffer in the memtable and flush through the tree's merge
+machinery, with filter maintenance riding the emitted events.
+
+All performance is measured as counted I/Os priced by the
+:class:`~repro.common.cost.CostModel` (see DESIGN.md section 2):
+``snapshot()`` / ``latency_since()`` turn any window of operations into
+a Figure-14-style latency breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.common.cost import CostModel, LatencyBreakdown
+from repro.common.counters import IOCounters
+from repro.filters.policy import FilterPolicy, NoFilterPolicy
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.config import LSMConfig
+from repro.lsm.entry import TOMBSTONE, Entry
+from repro.lsm.memtable import Memtable
+from repro.lsm.storage import StorageDevice
+from repro.lsm.tree import LSMTree, RunManifest
+from repro.lsm.wal import WriteAheadLog
+
+#: Memory-I/O categories that make up the 'filter' latency component.
+_FILTER_CATEGORIES = ("filter", "filter_dt", "filter_rt", "filter_aht", "filter_ovf")
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of one instrumented point read."""
+
+    value: Any
+    found: bool
+    false_positives: int
+    sublevels_probed: int
+
+
+@dataclass(frozen=True)
+class CrashState:
+    """What survives a crash: storage, run manifests, the WAL, and —
+    for Chucky — the persisted filter fingerprints (paper section 4.5).
+    The memtable, block cache and in-memory filters are lost."""
+
+    storage: StorageDevice
+    manifest: list[RunManifest]
+    wal_data: bytes
+    filter_blob: bytes | None
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    memory: dict[str, int]
+    storage_reads: int
+    storage_writes: int
+    queries: int
+    updates: int
+    false_positives: int
+
+
+class KVStore:
+    """A complete LSM-tree key-value store with pluggable filtering."""
+
+    def __init__(
+        self,
+        config: LSMConfig | None = None,
+        filter_policy: FilterPolicy | None = None,
+        cache_blocks: int = 0,
+        cost_model: CostModel | None = None,
+        durable: bool = False,
+        _tree: LSMTree | None = None,
+    ) -> None:
+        self.config = config if config is not None else LSMConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        if _tree is not None:
+            self.tree = _tree
+            self.counters = _tree.counters
+        else:
+            self.counters = IOCounters()
+            cache = BlockCache(cache_blocks) if cache_blocks > 0 else None
+            self.tree = LSMTree(self.config, counters=self.counters, cache=cache)
+        self.policy = (
+            filter_policy if filter_policy is not None else NoFilterPolicy()
+        )
+        # Share one set of counters across all components.
+        self.policy.counters = self.counters
+        self.policy.attach(self.tree)
+        self.memtable = Memtable(self.config.buffer_entries, self.counters.memory)
+        self.wal = WriteAheadLog() if durable else None
+        self._seqno = 0
+        self.queries = 0
+        self.updates = 0
+        self.false_positives = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or update a key."""
+        if self.memtable.is_full:
+            self.flush()
+        self._seqno += 1
+        if self.wal is not None:
+            self.wal.append_put(key, value, self._seqno)
+        self.memtable.put(key, value, self._seqno)
+        self.updates += 1
+
+    def delete(self, key: int) -> None:
+        """Delete a key (out-of-place: buffers a tombstone)."""
+        if self.memtable.is_full:
+            self.flush()
+        self._seqno += 1
+        if self.wal is not None:
+            self.wal.append_delete(key, self._seqno)
+        self.memtable.delete(key, self._seqno)
+        self.updates += 1
+
+    def put_batch(self, items: list[tuple[int, Any]]) -> None:
+        """Atomically buffer a batch, flushing as needed (section 4.5)."""
+        for key, value in items:
+            self.put(key, value)
+
+    def _bump_seqno(self) -> int:
+        """Allocate the next sequence number (bulk loaders use this to
+        stamp directly installed runs)."""
+        self._seqno += 1
+        return self._seqno
+
+    def flush(self) -> None:
+        """Force the memtable into the tree (normally automatic)."""
+        if len(self.memtable) == 0:
+            return
+        entries = self.memtable.sorted_entries()
+        self.memtable.clear()
+        self.tree.flush(entries)
+        self.policy.after_write()
+        if self.wal is not None:
+            # The buffered writes are now durable in storage runs.
+            self.wal.truncate()
+
+    # ------------------------------------------------------------------
+    # Crash & recovery (paper section 4.5, Persistence)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> CrashState:
+        """Capture exactly what survives a crash.
+
+        Requires a durable store (a WAL); the memtable, cache and
+        in-memory filter structures are considered lost. Chucky's
+        persisted fingerprints ride along so recovery can rebuild the
+        filter without rescanning the data.
+        """
+        if self.wal is None:
+            raise RuntimeError("crash/recovery requires KVStore(durable=True)")
+        blob = None
+        persist = getattr(getattr(self.policy, "filter", None), "persist", None)
+        if callable(persist):
+            blob = persist()
+        return CrashState(
+            storage=self.tree.storage,
+            manifest=self.tree.manifest(),
+            wal_data=bytes(self.wal.data),
+            filter_blob=blob,
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        state: CrashState,
+        config: LSMConfig,
+        filter_policy: FilterPolicy | None = None,
+        cache_blocks: int = 0,
+        cost_model: CostModel | None = None,
+    ) -> "KVStore":
+        """Rebuild a store from a :class:`CrashState`.
+
+        Runs reopen from their manifests (no data scan); the filter
+        recovers from persisted fingerprints when available, else by
+        scanning the runs; the WAL replays into a fresh memtable with
+        the original sequence numbers.
+        """
+        counters = IOCounters()
+        state.storage.counter = counters.storage
+        cache = BlockCache(cache_blocks) if cache_blocks > 0 else None
+        tree = LSMTree.from_manifest(
+            config, state.storage, state.manifest, counters=counters, cache=cache
+        )
+        policy = filter_policy if filter_policy is not None else NoFilterPolicy()
+        store = cls(
+            config=config,
+            filter_policy=policy,
+            cost_model=cost_model,
+            durable=True,
+            _tree=tree,
+        )
+        store._recover_filter(state)
+        wal = WriteAheadLog(data=bytearray(state.wal_data))
+        max_seqno = 0
+        for kind, key, value, seqno in wal.replay():
+            store.memtable.put(key, value, seqno)
+            max_seqno = max(max_seqno, seqno)
+        store.wal = wal
+        store._seqno = max(max_seqno, store._highest_stored_seqno())
+        return store
+
+    def _recover_filter(self, state: CrashState) -> None:
+        """Restore the filter: from persisted fingerprints if the policy
+        supports it, else by rebuilding from the runs (counted scan)."""
+        recover = getattr(self.policy, "recover_filter", None)
+        if state.filter_blob is not None and callable(recover):
+            recover(state.filter_blob)
+            return
+        rebuild = getattr(self.policy, "rebuild_from_tree", None)
+        if callable(rebuild):
+            rebuild()
+            return
+        # Per-run filter policies rebuild each run's filter by scanning
+        # it (real engines persist filter blocks inside the SSTs; the
+        # scan here is the conservative simulation).
+        from repro.lsm.tree import FlushEvent
+
+        for sublevel, run in self.tree.occupied_runs():
+            entries = run.read_all()
+            self.policy.handle_event(
+                FlushEvent(sublevel=sublevel, entries=tuple(entries))
+            )
+
+    def _highest_stored_seqno(self) -> int:
+        highest = 0
+        for _, run in self.tree.occupied_runs():
+            with self.tree.storage.counting_suspended():
+                for entry in run.read_all():
+                    if entry.seqno > highest:
+                        highest = entry.seqno
+        return highest
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: int) -> Any:
+        """Point read; returns the value or None."""
+        return self.get_with_stats(key).value
+
+    def get_with_stats(self, key: int) -> ReadResult:
+        """Point read with false-positive accounting.
+
+        A false positive is a candidate sub-level the filter told us to
+        search whose run turned out not to hold the key — each one costs
+        a wasted fence search + storage I/O, the quantity Figures 11 and
+        14 B-D measure.
+        """
+        self.queries += 1
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return ReadResult(self._value_of(entry), not entry.is_tombstone, 0, 0)
+        occupied = self.tree.occupied_runs()
+        false_positives = 0
+        probed = 0
+        for sublevel in self.policy.candidates(key, occupied):
+            run = self.tree.run_at(sublevel)
+            if run is None:
+                # The filter pointed at an empty sub-level: a false
+                # positive that costs no storage I/O.
+                false_positives += 1
+                continue
+            probed += 1
+            found = run.get(key, self.counters.memory, self.tree.cache)
+            if found is not None:
+                self.false_positives += false_positives
+                return ReadResult(
+                    self._value_of(found),
+                    not found.is_tombstone,
+                    false_positives,
+                    probed,
+                )
+            false_positives += 1
+        self.false_positives += false_positives
+        return ReadResult(None, False, false_positives, probed)
+
+    def scan(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """Range read over [lo, hi]; filters are bypassed (section 4.5)."""
+        best: dict[int, Entry] = {}
+        for entry in self.memtable.scan(lo, hi):
+            best[entry.key] = entry
+        for entry in self.tree.scan(lo, hi):
+            if entry.key not in best or entry.seqno > best[entry.key].seqno:
+                best[entry.key] = entry
+        for key in sorted(best):
+            entry = best[key]
+            if not entry.is_tombstone:
+                yield key, entry.value
+
+    @staticmethod
+    def _value_of(entry: Entry) -> Any:
+        return None if entry.is_tombstone else entry.value
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> IOSnapshot:
+        """Capture I/O counters to measure a window of operations."""
+        return IOSnapshot(
+            memory=self.counters.memory.snapshot(),
+            storage_reads=self.counters.storage.reads,
+            storage_writes=self.counters.storage.writes,
+            queries=self.queries,
+            updates=self.updates,
+            false_positives=self.false_positives,
+        )
+
+    def latency_since(
+        self, snap: IOSnapshot, operations: int | None = None
+    ) -> LatencyBreakdown:
+        """Modelled latency accumulated since ``snap``; divided by
+        ``operations`` when given (per-op averages, Figure 14 style)."""
+        mem = self.counters.memory.diff(snap.memory)
+        model = self.cost_model
+        filter_ns = model.memory_cost(
+            sum(mem.get(cat, 0) for cat in _FILTER_CATEGORIES)
+        )
+        memtable_ns = model.memory_cost(mem.get("memtable", 0))
+        fence_ns = model.memory_cost(mem.get("fence", 0))
+        storage_ns = model.storage_cost(
+            self.counters.storage.reads - snap.storage_reads,
+            self.counters.storage.writes - snap.storage_writes,
+        ) + model.memory_cost(mem.get("cache", 0))
+        known = {"memtable", "fence", "cache", *_FILTER_CATEGORIES}
+        other_ns = model.memory_cost(
+            sum(v for k, v in mem.items() if k not in known)
+        )
+        breakdown = LatencyBreakdown(
+            filter_ns=filter_ns,
+            memtable_ns=memtable_ns,
+            fence_ns=fence_ns,
+            storage_ns=storage_ns,
+            other_ns=other_ns,
+        )
+        if operations:
+            breakdown = breakdown.scaled(1.0 / operations)
+        return breakdown
+
+    def memory_ios_since(self, snap: IOSnapshot) -> dict[str, int]:
+        return self.counters.memory.diff(snap.memory)
+
+    def false_positives_since(self, snap: IOSnapshot) -> int:
+        return self.false_positives - snap.false_positives
+
+    @property
+    def num_entries(self) -> int:
+        return self.tree.num_entries + len(self.memtable)

@@ -1,0 +1,36 @@
+"""Baseline filters: standard and blocked Bloom filters (uniform and
+Monkey-optimal allocation), a plain Cuckoo filter, and the filter-policy
+interface that binds filters to the LSM-tree.
+"""
+
+from repro.filters.allocation import (
+    bloom_fpp,
+    optimal_bits_per_sublevel,
+    uniform_bits_per_sublevel,
+)
+from repro.filters.blocked_bloom import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.policy import (
+    BloomFilterPolicy,
+    FilterPolicy,
+    NoFilterPolicy,
+    XorFilterPolicy,
+)
+from repro.filters.quotient import QuotientFilter
+from repro.filters.xor import XorFilter
+
+__all__ = [
+    "BlockedBloomFilter",
+    "BloomFilter",
+    "BloomFilterPolicy",
+    "CuckooFilter",
+    "FilterPolicy",
+    "NoFilterPolicy",
+    "QuotientFilter",
+    "XorFilter",
+    "XorFilterPolicy",
+    "bloom_fpp",
+    "optimal_bits_per_sublevel",
+    "uniform_bits_per_sublevel",
+]

@@ -1,0 +1,82 @@
+"""Memory allocation across the LSM-tree's Bloom filters.
+
+Two schemes from the paper (section 2, Eqs 2-3):
+
+* **uniform** — every run gets the same bits per entry M; the FPR is the
+  number of runs times ``2^{-M ln 2}`` and grows with the data (Eq 2).
+* **optimal** (Monkey, Dayan et al. 2017/2018) — reassign ~1 bit/entry
+  from the largest level to give smaller levels linearly more bits, so
+  their FPPs shrink exponentially and the total FPR converges (Eq 3).
+
+The optimal scheme has a clean closed form: Lagrange optimization of
+``sum_j FPP_j`` under the budget ``sum_j f_j M_j = M`` gives a per-run
+FPP *proportional to the run's capacity share*: ``FPP_j = 2^{H - M ln 2}
+f_j`` where H is the LID entropy of Eq 9 — which makes the total FPR
+exactly ``2^{H} 2^{-M ln 2}``, the Eq 3 bound. (The same 2^H factor
+appears in Chucky's FPR, Eq 10: both designs pay the entropy of *where
+data lives*.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.coding.distributions import LidDistribution
+from repro.coding.entropy import lid_entropy_exact
+
+
+def bloom_fpp(bits_per_entry: float) -> float:
+    """Textbook Bloom FPP at M bits/entry with optimal hash count."""
+    if bits_per_entry <= 0:
+        return 1.0
+    return 2.0 ** (-bits_per_entry * math.log(2))
+
+
+def uniform_bits_per_sublevel(
+    dist: LidDistribution, bits_per_entry: float
+) -> dict[int, float]:
+    """Uniform allocation: M bits/entry for every sub-level's filter."""
+    return {lid: bits_per_entry for lid in dist.lids}
+
+
+def optimal_bits_per_sublevel(
+    dist: LidDistribution, bits_per_entry: float
+) -> dict[int, float]:
+    """Monkey-optimal allocation: bits per entry for each sub-level.
+
+    Lagrange solution ``M_j = -log2(FPP_j) / ln 2`` with ``FPP_j =
+    2^{H - M ln 2} f_j``: entries at smaller levels receive linearly
+    more bits, exactly the paper's description. Under very small budgets
+    the unconstrained optimum can go negative at the largest level
+    (Monkey "disables" that filter); water-filling then redistributes
+    the freed budget over the remaining sub-levels so the full budget
+    ``sum_j f_j M_j = M`` is always spent.
+    """
+    if bits_per_entry <= 0:
+        raise ValueError(f"bits_per_entry must be > 0, got {bits_per_entry}")
+    ln2 = math.log(2)
+    probs = {lid: float(f) for lid, f in zip(dist.lids, dist.probabilities())}
+    active = set(probs)
+    bits = {lid: 0.0 for lid in probs}
+    while active:
+        mass = sum(probs[lid] for lid in active)
+        h_active = -sum(
+            probs[lid] * math.log2(probs[lid]) for lid in active
+        )
+        # Lagrange over the active set: FPP_j = lambda * f_j with lambda
+        # chosen to spend the whole budget there; M_j = -(log2 lambda +
+        # log2 f_j) / ln 2. With no clamping this reduces to the Eq 3
+        # closed form (lambda = 2^{H - M ln 2}).
+        log2_lambda = (h_active - bits_per_entry * ln2) / mass
+        negatives = []
+        for lid in active:
+            m_j = -(log2_lambda + math.log2(probs[lid])) / ln2
+            bits[lid] = m_j
+            if m_j < 0:
+                negatives.append(lid)
+        if not negatives:
+            break
+        for lid in negatives:
+            bits[lid] = 0.0
+            active.discard(lid)
+    return bits

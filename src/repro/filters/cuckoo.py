@@ -1,0 +1,144 @@
+"""Plain Cuckoo filter (Fan et al. 2014; paper section 3).
+
+An array of buckets, each with S slots for F-bit fingerprints. A key
+hashes to two candidate buckets (Eq 4, partial-key hashing: the
+alternative bucket is the current bucket xor a hash of the fingerprint),
+so queries cost at most two memory I/Os. With S = 4, ~95% occupancy is
+reachable with 1-2 amortized evictions per insert; the FPR is about
+``2 S 2^{-F}``.
+
+This baseline is both a stepping stone for Chucky (which adds level IDs
+and compression on top of the same skeleton) and the reference for the
+plain-cuckoo behaviors the property tests pin down.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.counters import MemoryIOCounter
+from repro.common.errors import CapacityError
+from repro.common.hashing import alt_offset, fingerprint_bits, key_digest
+
+_BUCKET_SEED = 3000
+_MAX_EVICTIONS = 500
+
+
+class CuckooFilter:
+    """A Cuckoo filter with S slots per bucket and F-bit fingerprints."""
+
+    def __init__(
+        self,
+        capacity: int,
+        fingerprint_bits: int = 12,
+        slots_per_bucket: int = 4,
+        memory_ios: MemoryIOCounter | None = None,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if fingerprint_bits < 5:
+            raise ValueError(
+                f"fingerprint_bits must be >= 5 (bucket independence), "
+                f"got {fingerprint_bits}"
+            )
+        if slots_per_bucket < 1:
+            raise ValueError(f"slots_per_bucket must be >= 1, got {slots_per_bucket}")
+        self._fp_bits = fingerprint_bits
+        self._slots = slots_per_bucket
+        # Size for ~95% occupancy, rounded up to a power of two (the xor
+        # trick needs it).
+        wanted = max(1, -(-capacity // slots_per_bucket))
+        wanted = max(2, round(wanted / 0.95))
+        self._num_buckets = 1 << (wanted - 1).bit_length()
+        self._buckets: list[list[int]] = [[] for _ in range(self._num_buckets)]
+        self._memory_ios = (
+            memory_ios if memory_ios is not None else MemoryIOCounter()
+        )
+        self._rng = random.Random(seed)
+        self.num_entries = 0
+
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
+    @property
+    def size_bits(self) -> int:
+        return self._num_buckets * self._slots * self._fp_bits
+
+    @property
+    def load_factor(self) -> float:
+        return self.num_entries / (self._num_buckets * self._slots)
+
+    def _fingerprint(self, key: int) -> int:
+        return fingerprint_bits(key, self._fp_bits, fp_min=5)
+
+    def _primary_bucket(self, key: int) -> int:
+        return key_digest(key, seed=_BUCKET_SEED) & (self._num_buckets - 1)
+
+    def _alternate(self, bucket: int, fp: int) -> int:
+        return bucket ^ alt_offset(fp, self._fp_bits, self._num_buckets, fp_min=5)
+
+    def add(self, key: int) -> None:
+        """Insert a key's fingerprint, evicting as needed.
+
+        Raises :class:`CapacityError` when the eviction budget is
+        exhausted (the filter is effectively full).
+        """
+        fp = self._fingerprint(key)
+        b1 = self._primary_bucket(key)
+        b2 = self._alternate(b1, fp)
+        for bucket in (b1, b2):
+            self._memory_ios.add("filter", 1)
+            if len(self._buckets[bucket]) < self._slots:
+                self._buckets[bucket].append(fp)
+                self.num_entries += 1
+                return
+        # Both full: evict along a random walk.
+        bucket = self._rng.choice((b1, b2))
+        for _ in range(_MAX_EVICTIONS):
+            victim_slot = self._rng.randrange(self._slots)
+            victim_fp = self._buckets[bucket][victim_slot]
+            self._buckets[bucket][victim_slot] = fp
+            fp = victim_fp
+            bucket = self._alternate(bucket, fp)
+            self._memory_ios.add("filter", 1)
+            if len(self._buckets[bucket]) < self._slots:
+                self._buckets[bucket].append(fp)
+                self.num_entries += 1
+                return
+        raise CapacityError(
+            f"cuckoo insertion failed at load factor {self.load_factor:.3f}"
+        )
+
+    def may_contain(self, key: int) -> bool:
+        """Membership test: at most two bucket reads (memory I/Os)."""
+        fp = self._fingerprint(key)
+        b1 = self._primary_bucket(key)
+        self._memory_ios.add("filter", 1)
+        if fp in self._buckets[b1]:
+            return True
+        b2 = self._alternate(b1, fp)
+        self._memory_ios.add("filter", 1)
+        return fp in self._buckets[b2]
+
+    def remove(self, key: int) -> bool:
+        """Delete one copy of the key's fingerprint; True if found.
+
+        (Bloom filters cannot do this — the reason they must be rebuilt
+        from scratch on every compaction, paper section 2.)
+        """
+        fp = self._fingerprint(key)
+        b1 = self._primary_bucket(key)
+        b2 = self._alternate(b1, fp)
+        for bucket in (b1, b2):
+            self._memory_ios.add("filter", 1)
+            if fp in self._buckets[bucket]:
+                self._buckets[bucket].remove(fp)
+                self.num_entries -= 1
+                return True
+        return False
+
+    def expected_fpp(self) -> float:
+        """The ~``2 S 2^{-F}`` false-positive bound (paper Eq 5 family)."""
+        return 2.0 * self._slots * 2.0 ** (-self._fp_bits)

@@ -1,0 +1,243 @@
+"""Filter policies: how filters bind to the LSM-tree.
+
+A :class:`FilterPolicy` subscribes to the tree's flush/merge events to
+maintain its filters, and answers point queries with a lazy iterator of
+candidate sub-levels — lazy so that a per-run Bloom-filter policy only
+pays for the filters it actually probes before the target is found,
+while Chucky's unified filter (in :mod:`repro.chucky.policy`) answers
+every candidate with a single two-bucket lookup.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.coding.distributions import LidDistribution
+from repro.common.counters import IOCounters
+from repro.filters.allocation import (
+    optimal_bits_per_sublevel,
+    uniform_bits_per_sublevel,
+)
+from repro.filters.blocked_bloom import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.lsm.run import Run
+from repro.lsm.tree import FlushEvent, LSMTree, MergeEvent, TreeEvent
+
+
+class FilterPolicy(ABC):
+    """Base class binding filters to a tree's lifecycle."""
+
+    #: Human-readable label used by benchmarks ("blocked BFs", "Chucky"...)
+    name: str = "abstract"
+
+    def __init__(self, counters: IOCounters | None = None) -> None:
+        self.counters = counters if counters is not None else IOCounters()
+        self._tree: LSMTree | None = None
+
+    @property
+    def tree(self) -> LSMTree:
+        if self._tree is None:
+            raise RuntimeError("policy is not attached to a tree")
+        return self._tree
+
+    def attach(self, tree: LSMTree) -> None:
+        """Subscribe to the tree's maintenance events."""
+        if self._tree is not None:
+            raise RuntimeError("policy is already attached")
+        self._tree = tree
+        tree.listeners.append(self.handle_event)
+        tree.grow_listeners.append(self.handle_grow)
+
+    @abstractmethod
+    def handle_event(self, event: TreeEvent) -> None:
+        """React to a flush or merge."""
+
+    def handle_grow(self, new_num_levels: int) -> None:
+        """React to the tree adding a level (filter resizing hook)."""
+
+    def after_write(self) -> None:
+        """Called once a write (and its whole merge cascade) completed;
+        policies defer wholesale rebuilds to this point."""
+
+    @abstractmethod
+    def candidates(
+        self, key: int, occupied: list[tuple[int, Run]]
+    ) -> Iterator[int]:
+        """Yield sub-level numbers that may contain ``key``, youngest
+        first. ``occupied`` is the tree's current (sublevel, run) list."""
+
+    @property
+    @abstractmethod
+    def size_bits(self) -> int:
+        """Current total filter memory footprint in bits."""
+
+
+class NoFilterPolicy(FilterPolicy):
+    """The 'no filters' baseline of Figure 14 G: probe every run."""
+
+    name = "no filters"
+
+    def handle_event(self, event: TreeEvent) -> None:
+        pass
+
+    def candidates(
+        self, key: int, occupied: list[tuple[int, Run]]
+    ) -> Iterator[int]:
+        for sublevel, _ in occupied:
+            yield sublevel
+
+    @property
+    def size_bits(self) -> int:
+        return 0
+
+
+class BloomFilterPolicy(FilterPolicy):
+    """One Bloom filter per run (the state of the art the paper replaces).
+
+    ``variant``: 'standard' (Cassandra-style, h probes per access) or
+    'blocked' (RocksDB-style, one cache line per access).
+    ``allocation``: 'uniform' (same M everywhere, Eq 2) or 'optimal'
+    (Monkey, Eq 3).
+
+    Every compaction rebuilds the output run's filter from scratch —
+    Bloom filters cannot delete — and that construction cost is exactly
+    the write-path overhead Chucky eliminates (Figure 14 A/G).
+    """
+
+    def __init__(
+        self,
+        bits_per_entry: float = 10.0,
+        variant: str = "blocked",
+        allocation: str = "optimal",
+        counters: IOCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if variant not in ("standard", "blocked"):
+            raise ValueError(f"variant must be standard|blocked, got {variant!r}")
+        if allocation not in ("uniform", "optimal"):
+            raise ValueError(
+                f"allocation must be uniform|optimal, got {allocation!r}"
+            )
+        self.bits_per_entry = bits_per_entry
+        self.variant = variant
+        self.allocation = allocation
+        self.name = f"{variant} BFs ({allocation})"
+        self._filters: dict[int, BloomFilter | BlockedBloomFilter | None] = {}
+
+    # -- allocation ----------------------------------------------------
+
+    def _bits_for_sublevel(self, sublevel: int) -> float:
+        tree = self.tree
+        dist = LidDistribution(
+            size_ratio=tree.config.size_ratio,
+            num_levels=tree.num_levels,
+            runs_per_level=tree.config.runs_per_level,
+            runs_at_last_level=tree.config.runs_at_last_level,
+        )
+        if self.allocation == "uniform":
+            table = uniform_bits_per_sublevel(dist, self.bits_per_entry)
+        else:
+            table = optimal_bits_per_sublevel(dist, self.bits_per_entry)
+        # During a merge cascade that is about to grow the tree, an output
+        # sub-level may momentarily exceed the old geometry; give it the
+        # largest level's allocation.
+        return table.get(sublevel, table[dist.num_sublevels])
+
+    def _build_filter(
+        self, sublevel: int, keys: list[int]
+    ) -> BloomFilter | BlockedBloomFilter | None:
+        bits = self._bits_for_sublevel(sublevel)
+        if bits <= 0.5 or not keys:
+            # Monkey can zero out the largest level's filter under tight
+            # budgets; represent that as "no filter" (always a candidate).
+            return None
+        cls = BloomFilter if self.variant == "standard" else BlockedBloomFilter
+        filt = cls(len(keys), bits, memory_ios=self.counters.memory)
+        for key in keys:
+            filt.add(key)
+        return filt
+
+    # -- maintenance ----------------------------------------------------
+
+    def handle_event(self, event: TreeEvent) -> None:
+        if isinstance(event, FlushEvent):
+            keys = [e.key for e in event.entries]
+            self._filters[event.sublevel] = self._build_filter(event.sublevel, keys)
+        elif isinstance(event, MergeEvent):
+            for sublevel in event.input_sublevels:
+                self._filters.pop(sublevel, None)
+            if event.survivors:
+                keys = [e.key for e, _ in event.survivors]
+                self._filters[event.output_sublevel] = self._build_filter(
+                    event.output_sublevel, keys
+                )
+            else:
+                self._filters.pop(event.output_sublevel, None)
+
+    def handle_grow(self, new_num_levels: int) -> None:
+        # Per-run filters key by sub-level number, which growth does not
+        # renumber for surviving runs; allocations refresh lazily as runs
+        # get rebuilt by subsequent merges.
+        pass
+
+    # -- queries ----------------------------------------------------------
+
+    def candidates(
+        self, key: int, occupied: list[tuple[int, Run]]
+    ) -> Iterator[int]:
+        for sublevel, _ in occupied:
+            filt = self._filters.get(sublevel)
+            if filt is None or filt.may_contain(key):
+                yield sublevel
+
+    @property
+    def size_bits(self) -> int:
+        return sum(f.size_bits for f in self._filters.values() if f is not None)
+
+    def measured_fpp_sum(self) -> float:
+        """Sum of the per-filter expected FPPs (the Eq 2/3 'FPR')."""
+        return sum(
+            f.expected_fpp() for f in self._filters.values() if f is not None
+        )
+
+
+class XorFilterPolicy(BloomFilterPolicy):
+    """One static xor filter per run (Graf & Lemire; the related-work
+    family member with a better FPR per bit but three memory I/Os per
+    probe and a costlier, peeling-based construction).
+
+    Reuses the per-run maintenance of :class:`BloomFilterPolicy`; only
+    the filter construction differs. Allocation semantics carry over:
+    the per-sub-level bits-per-entry budget selects the fingerprint
+    width (``floor(bits / 1.23)`` bits land in each of the ~1.23n
+    slots).
+    """
+
+    def __init__(
+        self,
+        bits_per_entry: float = 10.0,
+        allocation: str = "uniform",
+        counters: IOCounters | None = None,
+    ) -> None:
+        super().__init__(
+            bits_per_entry=bits_per_entry,
+            variant="blocked",  # unused; construction is overridden
+            allocation=allocation,
+            counters=counters,
+        )
+        self.name = f"xor filters ({allocation})"
+
+    def _build_filter(self, sublevel: int, keys: list[int]):
+        from repro.filters.xor import XorFilter
+
+        bits = self._bits_for_sublevel(sublevel)
+        if bits <= 2.5 or not keys:
+            return None
+        fp_bits = max(2, min(32, int(bits / 1.23)))
+        filt = XorFilter(keys, fingerprint_bits=fp_bits,
+                         memory_ios=self.counters.memory)
+        # Construction cost: the peeling pass touches each key's three
+        # slots about twice; charge 6 memory I/Os per key.
+        self.counters.memory.add("filter", 6 * len(keys))
+        return filt

@@ -1,0 +1,63 @@
+"""LRU block cache.
+
+KV-stores keep frequently accessed data blocks in memory to optimize for
+skew (paper Problem 2). Chucky's headline win on skewed workloads
+(Figure 14 F) is that a cached read no longer has to traverse one Bloom
+filter per sub-level before the cached block can even be identified.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.lsm.storage import Block
+
+
+class BlockCache:
+    """Fixed-capacity LRU cache keyed by (run_id, block_index)."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_blocks}")
+        self._capacity = capacity_blocks
+        self._blocks: OrderedDict[tuple[int, int], Block] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def get(self, run_id: int, index: int) -> Block | None:
+        key = (run_id, index)
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return block
+
+    def put(self, run_id: int, index: int, block: Block) -> None:
+        if self._capacity == 0:
+            return
+        key = (run_id, index)
+        self._blocks[key] = block
+        self._blocks.move_to_end(key)
+        while len(self._blocks) > self._capacity:
+            self._blocks.popitem(last=False)
+
+    def invalidate_run(self, run_id: int) -> None:
+        """Drop all cached blocks of a run (called when compaction deletes
+        the run)."""
+        stale = [k for k in self._blocks if k[0] == run_id]
+        for key in stale:
+            del self._blocks[key]
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,49 @@
+"""Key-value entries and tombstones."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class _Tombstone:
+    """Sentinel value marking a deleted key (paper section 2: deletes are
+    out-of-place inserts of a tombstone)."""
+
+    _instance: "_Tombstone | None" = None
+
+    def __new__(cls) -> "_Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOMBSTONE"
+
+
+#: The singleton tombstone value.
+TOMBSTONE = _Tombstone()
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """One key-value version.
+
+    ``seqno`` is a global monotonically increasing sequence number used
+    to order versions of the same key during merges (younger wins).
+    """
+
+    key: int
+    value: Any
+    seqno: int
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is TOMBSTONE
+
+    def __lt__(self, other: "Entry") -> bool:
+        """Orders by key, then by *descending* seqno so the newest version
+        of a key sorts first — the order merge iterators rely on."""
+        if self.key != other.key:
+            return self.key < other.key
+        return self.seqno > other.seqno

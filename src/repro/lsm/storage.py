@@ -1,0 +1,86 @@
+"""Simulated block storage device.
+
+Stands in for the paper's Intel Optane SSD (see DESIGN.md section 2).
+Runs are stored as lists of immutable blocks; every block read or write
+is counted by a :class:`StorageIOCounter`, and the cost model prices the
+counts into modelled latency. Contents live in RAM, but nothing outside
+this module may touch them without paying a counted I/O.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.common.counters import StorageIOCounter
+from repro.lsm.entry import Entry
+
+#: A storage block: an immutable, key-sorted tuple of entries.
+Block = tuple[Entry, ...]
+
+
+class StorageDevice:
+    """Block store with read/write accounting.
+
+    Run IDs are allocated by the device and never reused, so stale cache
+    entries can never alias a new run.
+    """
+
+    def __init__(self, counter: StorageIOCounter | None = None) -> None:
+        self._runs: dict[int, list[Block]] = {}
+        self._next_id = 1
+        self.counter = counter if counter is not None else StorageIOCounter()
+
+    def write_run(self, blocks: list[Block]) -> int:
+        """Persist a new run; counts one write I/O per block. Returns the
+        run id."""
+        run_id = self._next_id
+        self._next_id += 1
+        self._runs[run_id] = list(blocks)
+        self.counter.write(len(blocks))
+        return run_id
+
+    def read_block(self, run_id: int, index: int) -> Block:
+        """Fetch one block; counts one read I/O."""
+        blocks = self._runs.get(run_id)
+        if blocks is None:
+            raise KeyError(f"run {run_id} does not exist")
+        if not 0 <= index < len(blocks):
+            raise IndexError(f"block {index} out of range for run {run_id}")
+        self.counter.read(1)
+        return blocks[index]
+
+    def read_run(self, run_id: int) -> list[Block]:
+        """Fetch an entire run (used by compaction); counts one read I/O
+        per block."""
+        blocks = self._runs.get(run_id)
+        if blocks is None:
+            raise KeyError(f"run {run_id} does not exist")
+        self.counter.read(len(blocks))
+        return list(blocks)
+
+    def delete_run(self, run_id: int) -> None:
+        """Reclaim a run's space (free, like an SSD trim)."""
+        self._runs.pop(run_id, None)
+
+    def num_blocks(self, run_id: int) -> int:
+        return len(self._runs[run_id])
+
+    @contextmanager
+    def counting_suspended(self):
+        """Temporarily stop counting I/Os.
+
+        Used for reads the paper's design gets for free — e.g. the filter
+        rebuild that piggybacks on a major compaction (section 4.5,
+        Sizing & Resizing), whose data the compaction already has in
+        flight. See DESIGN.md section 2.
+        """
+        saved = self.counter
+        self.counter = StorageIOCounter()
+        try:
+            yield
+        finally:
+            self.counter = saved
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(len(b) for b in self._runs.values())

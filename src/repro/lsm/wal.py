@@ -1,0 +1,116 @@
+"""Write-ahead log.
+
+The paper's batch-update recipe (section 4.5) starts with "atomically
+inserting a batch into the WAL and the memtable"; this module provides
+that WAL. Records are length-prefixed and checksummed so that a torn
+tail (a crash mid-append) is detected and truncated during replay
+rather than corrupting recovery.
+
+The log is a plain ``bytearray`` standing in for an append-only file —
+consistent with the repo's simulated-storage approach; the encoding is
+nevertheless a real, self-delimiting binary format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.common.errors import ReproError
+from repro.common.hashing import splitmix64
+from repro.lsm.entry import TOMBSTONE
+
+_PUT = 0
+_DELETE = 1
+
+
+class WalCorruption(ReproError):
+    """A WAL record failed its checksum somewhere other than the tail."""
+
+
+def _checksum(payload: bytes) -> int:
+    acc = 0xCBF29CE484222325
+    for i in range(0, len(payload), 8):
+        acc = splitmix64(acc ^ int.from_bytes(payload[i : i + 8], "little"))
+    return acc & 0xFFFFFFFF
+
+
+def _encode_value(value: Any) -> bytes:
+    if value is TOMBSTONE:
+        return b""
+    if isinstance(value, bytes):
+        return value
+    return str(value).encode("utf-8")
+
+
+@dataclass
+class WriteAheadLog:
+    """Append-only log of puts and deletes."""
+
+    data: bytearray = field(default_factory=bytearray)
+    appended: int = 0
+
+    def append_put(self, key: int, value: Any, seqno: int) -> None:
+        self._append(_PUT, key, _encode_value(value), seqno)
+
+    def append_delete(self, key: int, seqno: int) -> None:
+        self._append(_DELETE, key, b"", seqno)
+
+    def _append(self, kind: int, key: int, value: bytes, seqno: int) -> None:
+        if not 0 <= key < 1 << 64:
+            raise ValueError(f"key {key} out of 64-bit range")
+        payload = (
+            bytes([kind])
+            + key.to_bytes(8, "little")
+            + seqno.to_bytes(8, "little")
+            + len(value).to_bytes(4, "little")
+            + value
+        )
+        record = (
+            len(payload).to_bytes(4, "little")
+            + _checksum(payload).to_bytes(4, "little")
+            + payload
+        )
+        self.data.extend(record)
+        self.appended += 1
+
+    def truncate(self) -> None:
+        """Discard the log (after a successful flush made it redundant)."""
+        self.data.clear()
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    def replay(self) -> Iterator[tuple[str, int, Any, int]]:
+        """Yield ('put'|'delete', key, value, seqno) records in order.
+
+        A torn record at the very tail (crash mid-append) is tolerated
+        and ends the replay; corruption anywhere else raises
+        :class:`WalCorruption`.
+        """
+        view = bytes(self.data)
+        offset = 0
+        while offset < len(view):
+            header = view[offset : offset + 8]
+            if len(header) < 8:
+                return  # torn tail
+            length = int.from_bytes(header[:4], "little")
+            checksum = int.from_bytes(header[4:8], "little")
+            payload = view[offset + 8 : offset + 8 + length]
+            if len(payload) < length:
+                return  # torn tail
+            if _checksum(payload) != checksum:
+                if offset + 8 + length >= len(view):
+                    return  # torn tail: checksum of a partial final write
+                raise WalCorruption(f"bad checksum at offset {offset}")
+            kind = payload[0]
+            key = int.from_bytes(payload[1:9], "little")
+            seqno = int.from_bytes(payload[9:17], "little")
+            vlen = int.from_bytes(payload[17:21], "little")
+            value_bytes = payload[21 : 21 + vlen]
+            offset += 8 + length
+            if kind == _DELETE:
+                yield "delete", key, TOMBSTONE, seqno
+            else:
+                yield "put", key, value_bytes.decode("utf-8"), seqno

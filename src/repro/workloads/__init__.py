@@ -1,0 +1,27 @@
+"""Workload generation: key spaces, uniform and Zipfian access patterns,
+the YCSB-B mix of the paper's throughput experiment, and bulk loaders
+that drive a store (or bare tree) into a target state."""
+
+from repro.workloads.generators import (
+    UniformGenerator,
+    ZipfianGenerator,
+    ycsb_b,
+)
+from repro.workloads.generators import zipf_over
+from repro.workloads.loaders import (
+    fill_tree_to_levels,
+    negative_keys,
+    populate_store,
+    sublevel_sample_keys,
+)
+
+__all__ = [
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "fill_tree_to_levels",
+    "negative_keys",
+    "populate_store",
+    "sublevel_sample_keys",
+    "ycsb_b",
+    "zipf_over",
+]

@@ -1,0 +1,113 @@
+"""Access-pattern generators.
+
+The paper uses a uniform distribution for worst-case behaviour and a
+Zipfian distribution (parameter ~1) to create skew that keeps hot data
+in the block cache (Figure 14 F). The throughput experiment (Figure
+14 H) is "95% Zipfian reads and 5% Zipfian writes (modeled after
+Workload B in YCSB)".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+
+class UniformGenerator:
+    """Uniform draws over a key population."""
+
+    def __init__(self, keys: list[int], seed: int = 0) -> None:
+        if not keys:
+            raise ValueError("key population must be non-empty")
+        self._keys = keys
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.choice(self._keys)
+
+    def sample(self, count: int) -> list[int]:
+        return [self.next() for _ in range(count)]
+
+
+class ZipfianGenerator:
+    """Zipfian item ranks (YCSB-style, default theta ~0.99 ≈ parameter 1).
+
+    Rank r (0-based) has probability proportional to ``1 / (r+1)^theta``.
+    Uses the standard Gray/YCSB closed-form sampler: O(1) per draw after
+    an O(n) zeta precomputation.
+    """
+
+    def __init__(self, num_items: int, theta: float = 0.99, seed: int = 0) -> None:
+        if num_items < 1:
+            raise ValueError(f"num_items must be >= 1, got {num_items}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self._n = num_items
+        self._theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = sum(1.0 / (i + 1) ** theta for i in range(num_items))
+        self._zeta2 = 1.0 + 2.0 ** (-theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / num_items) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    def next_rank(self) -> int:
+        """A 0-based rank; rank 0 is the hottest item."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._zeta2:
+            return 1
+        rank = int(self._n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(rank, self._n - 1)
+
+    def probability_of_rank(self, rank: int) -> float:
+        return (1.0 / (rank + 1) ** self._theta) / self._zetan
+
+
+def zipf_over(keys: list[int], theta: float = 0.99, seed: int = 0) -> Iterator[int]:
+    """Endless Zipfian stream over a key population; the population is
+    shuffled once so physical key order does not correlate with heat."""
+    rng = random.Random(seed ^ 0x5F5E100)
+    shuffled = list(keys)
+    rng.shuffle(shuffled)
+    gen = ZipfianGenerator(len(shuffled), theta=theta, seed=seed)
+    while True:
+        yield shuffled[gen.next_rank()]
+
+
+def ycsb_b(
+    keys: list[int],
+    num_ops: int,
+    read_fraction: float = 0.95,
+    theta: float = 0.99,
+    seed: int = 0,
+) -> Iterator[tuple[str, int]]:
+    """YCSB Workload B: skewed reads with a trickle of skewed updates.
+
+    Yields ``('read', key)`` or ``('update', key)`` tuples.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+    rng = random.Random(seed ^ 0xABCDEF)
+    stream = zipf_over(keys, theta=theta, seed=seed)
+    for _ in range(num_ops):
+        op = "read" if rng.random() < read_fraction else "update"
+        yield op, next(stream)
+
+
+def zipf_pmf_checksum(num_items: int, theta: float = 0.99) -> float:
+    """Sum of the rank pmf (should be ~1; exposed for tests)."""
+    zetan = sum(1.0 / (i + 1) ** theta for i in range(num_items))
+    return sum((1.0 / (i + 1) ** theta) / zetan for i in range(num_items))
+
+
+def harmonic_approx(n: int, theta: float) -> float:
+    """Generalized harmonic number approximation (used in tests to bound
+    the zeta precompute)."""
+    if theta == 1.0:
+        return math.log(n) + 0.5772156649
+    return (n ** (1 - theta) - 1) / (1 - theta) + 1

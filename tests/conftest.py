@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coding.distributions import LidDistribution
+from repro.lsm.config import LSMConfig, lazy_leveling, leveling, tiering
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def dist_default() -> LidDistribution:
+    """The paper's default-ish geometry: T=5, L=6, leveled sub-levels."""
+    return LidDistribution(size_ratio=5, num_levels=6)
+
+
+@pytest.fixture
+def dist_fig4() -> LidDistribution:
+    """Figure 4's worked example: T=5, Z=1, K=4, L=3 (nine LIDs)."""
+    return LidDistribution(
+        size_ratio=5, num_levels=3, runs_per_level=4, runs_at_last_level=1
+    )
+
+
+@pytest.fixture
+def small_leveling() -> LSMConfig:
+    return leveling(size_ratio=3, buffer_entries=8, block_entries=4)
+
+
+@pytest.fixture
+def small_tiering() -> LSMConfig:
+    return tiering(size_ratio=3, buffer_entries=8, block_entries=4)
+
+
+@pytest.fixture
+def small_lazy() -> LSMConfig:
+    return lazy_leveling(size_ratio=3, buffer_entries=8, block_entries=4)

@@ -1,0 +1,144 @@
+"""Closed-form models: Eqs 2, 3, 5, 6, 10, 16 and Tables 1-2, including
+the relationships the paper derives between them."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost_models import (
+    bloom_query_ios,
+    bloom_update_ios,
+    chucky_query_ios,
+    chucky_update_ios,
+)
+from repro.analysis.fpr_models import (
+    fpr_bloom_optimal,
+    fpr_bloom_uniform,
+    fpr_chucky_lower_bound,
+    fpr_chucky_model,
+    fpr_cuckoo,
+    fpr_cuckoo_integer_lids,
+)
+
+
+class TestEq2Uniform:
+    def test_grows_linearly_with_runs(self):
+        assert fpr_bloom_uniform(10, 6) == pytest.approx(
+            2 * fpr_bloom_uniform(10, 6) / 2
+        )
+        assert fpr_bloom_uniform(10, 8) > fpr_bloom_uniform(10, 4)
+
+    def test_value(self):
+        assert fpr_bloom_uniform(10, 6, 1, 1) == pytest.approx(
+            2 ** (-10 * math.log(2)) * 6
+        )
+
+    def test_k_z_scale(self):
+        assert fpr_bloom_uniform(10, 6, 4, 1) == pytest.approx(
+            fpr_bloom_uniform(10, 6, 1, 1) / 6 * 21
+        )
+
+
+class TestEq3Optimal:
+    def test_independent_of_levels(self):
+        """Eq 3 has no L: the optimal FPR converges with data size."""
+        assert "num_levels" not in fpr_bloom_optimal.__code__.co_varnames[:4]
+
+    def test_closed_form(self):
+        t = 5
+        expected = (
+            2 ** (-10 * math.log(2)) * t ** (t / (t - 1)) / (t - 1)
+        )
+        assert fpr_bloom_optimal(10, t) == pytest.approx(expected)
+
+    def test_below_uniform(self):
+        """Optimal allocation beats uniform for any sizeable tree."""
+        for l in (4, 6, 9):
+            assert fpr_bloom_optimal(10, 5) < fpr_bloom_uniform(10, l)
+
+
+class TestEq5Eq6Cuckoo:
+    def test_eq5_lid_bits_cost(self):
+        assert fpr_cuckoo(10, 0) == pytest.approx(8 * 2**-10)
+        assert fpr_cuckoo(10, 3) == pytest.approx(8 * 2**-7)
+
+    def test_eq6_grows_with_levels(self):
+        values = [fpr_cuckoo_integer_lids(10, l) for l in (3, 6, 9)]
+        assert values == sorted(values)
+
+    def test_eq6_form(self):
+        assert fpr_cuckoo_integer_lids(10, 6, 1, 1) == pytest.approx(
+            2 * 4 * 2**-10 * 6
+        )
+
+
+class TestEq10Eq16Chucky:
+    def test_lower_bound_below_model(self):
+        """Eq 10 (entropy) <= Eq 16 (ACL_UB) always: ACL_UB >= H."""
+        for t in (2, 3, 5, 10):
+            assert fpr_chucky_lower_bound(10, t) <= fpr_chucky_model(10, t) + 1e-12
+
+    def test_model_form(self):
+        t = 5
+        expected = 8 * 2.0 ** (-(10 - (t / (t - 1))))
+        assert fpr_chucky_model(10, t, 1, 1) == pytest.approx(expected)
+
+    def test_independent_of_levels(self):
+        """Neither Eq 10 nor Eq 16 mentions L — the whole point."""
+        assert fpr_chucky_model(10, 5) == fpr_chucky_model(10, 5)
+
+    def test_chucky_beats_optimal_bloom_at_high_memory(self):
+        """Section 4.2: 'for a high enough memory budget (M > ~10),
+        Chucky should beat state-of-the-art Bloom filters'. Measured
+        crossover in Figure 14 C is ~11 bits/entry."""
+        assert fpr_chucky_model(14, 5) < fpr_bloom_optimal(14, 5)
+        assert fpr_chucky_model(12, 5) < fpr_bloom_optimal(12, 5)
+
+    def test_bloom_beats_chucky_at_low_memory(self):
+        """...and the flip side below the crossover."""
+        assert fpr_chucky_model(8, 5) > fpr_bloom_optimal(8, 5)
+
+    def test_crossover_near_eleven_bits(self):
+        crossover = None
+        for tenth in range(80, 160):
+            m = tenth / 10
+            if fpr_chucky_model(m, 5) <= fpr_bloom_optimal(m, 5):
+                crossover = m
+                break
+        assert crossover is not None
+        assert 9.0 <= crossover <= 13.0
+
+    def test_scales_better_with_memory(self):
+        """Chucky's FPR halves per added bit (2^-M); Bloom's decays at
+        2^-M ln 2 — the slope difference of Figure 14 C."""
+        chucky_ratio = fpr_chucky_model(12, 5) / fpr_chucky_model(11, 5)
+        bloom_ratio = fpr_bloom_optimal(12, 5) / fpr_bloom_optimal(11, 5)
+        assert chucky_ratio == pytest.approx(0.5, abs=0.01)
+        assert bloom_ratio > chucky_ratio
+
+
+class TestCostTables:
+    def test_table1_query_counts_sublevels(self):
+        assert bloom_query_ios(6, 1, 1) == 6
+        assert bloom_query_ios(6, 4, 1) == 21
+        assert bloom_query_ios(6, 4, 4) == 24
+
+    def test_table1_update_policy_ordering(self):
+        """Leveling updates cost O(TL) > lazy O(L+T) > tiering O(L)."""
+        t, l = 5, 6
+        lvl = bloom_update_ios(l, t, 1, 1)
+        lazy = bloom_update_ios(l, t, t - 1, 1)
+        tier = bloom_update_ios(l, t, t - 1, t - 1)
+        assert lvl > lazy > tier
+
+    def test_table2_query_constant(self):
+        assert chucky_query_ios() == 2.0
+
+    def test_table2_update_linear_in_levels(self):
+        assert chucky_update_ios(6) == 9.0
+        assert chucky_update_ios(12) == 2 * chucky_update_ios(6)
+
+    def test_chucky_query_beats_bloom_everywhere(self):
+        for l in range(2, 12):
+            for k, z in ((1, 1), (4, 1), (4, 4)):
+                assert chucky_query_ios() <= bloom_query_ios(l, k, z)

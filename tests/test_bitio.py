@@ -1,0 +1,160 @@
+"""Bit-level I/O: the foundation the bucket codec and persistence rest on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_starts_empty(self):
+        w = BitWriter()
+        assert w.bit_length == 0
+        assert w.getvalue() == 0
+        assert w.to_bytes() == b""
+
+    def test_single_field(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.bit_length == 3
+        assert w.getvalue() == 0b101
+
+    def test_fields_concatenate_msb_first(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        w.write(0b0101, 4)
+        assert w.getvalue() == 0b10101
+        assert w.bit_length == 5
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.bit_length == 0
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0b100, 2)
+
+    def test_negative_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(-1, 4)
+
+    def test_negative_width_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0, -1)
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(3)
+        assert w.getvalue() == 0b1110
+        assert w.bit_length == 4
+
+    def test_unary_zero(self):
+        w = BitWriter()
+        w.write_unary(0)
+        assert w.getvalue() == 0
+        assert w.bit_length == 1
+
+    def test_pad_to(self):
+        w = BitWriter()
+        w.write(0b11, 2)
+        w.pad_to(8)
+        assert w.bit_length == 8
+        assert w.getvalue() == 0b11000000
+
+    def test_pad_down_rejected(self):
+        w = BitWriter()
+        w.write(0, 8)
+        with pytest.raises(ValueError):
+            w.pad_to(4)
+
+    def test_to_bytes_pads_right(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        assert w.to_bytes() == bytes([0b10000000])
+
+
+class TestBitReader:
+    def test_read_back(self):
+        r = BitReader(0b10101, 5)
+        assert r.read(1) == 1
+        assert r.read(4) == 0b0101
+        assert r.remaining == 0
+
+    def test_read_past_end_raises(self):
+        r = BitReader(0, 4)
+        r.read(4)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_value_wider_than_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(0b1111, 3)
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(0b1100, 4)
+        assert r.peek(2) == 0b11
+        assert r.peek(2) == 0b11
+        assert r.read(2) == 0b11
+
+    def test_peek_past_end_zero_pads(self):
+        r = BitReader(0b11, 2)
+        assert r.peek(4) == 0b1100
+
+    def test_skip(self):
+        r = BitReader(0b1010, 4)
+        r.skip(2)
+        assert r.read(2) == 0b10
+
+    def test_skip_past_end_raises(self):
+        r = BitReader(0, 2)
+        with pytest.raises(EOFError):
+            r.skip(3)
+
+    def test_read_unary(self):
+        r = BitReader(0b1110, 4)
+        assert r.read_unary() == 3
+
+    def test_from_bytes(self):
+        r = BitReader.from_bytes(bytes([0xAB, 0xCD]))
+        assert r.read(8) == 0xAB
+        assert r.read(8) == 0xCD
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**32 - 1), st.integers(1, 33)), max_size=40))
+def test_roundtrip_many_fields(fields):
+    """Property: any sequence of (value mod 2^width, width) fields reads
+    back exactly."""
+    w = BitWriter()
+    expected = []
+    for value, width in fields:
+        value &= (1 << width) - 1
+        w.write(value, width)
+        expected.append((value, width))
+    r = BitReader(w.getvalue(), w.bit_length)
+    for value, width in expected:
+        assert r.read(width) == value
+    assert r.remaining == 0
+
+
+@given(st.lists(st.integers(0, 40), max_size=20))
+def test_unary_roundtrip(counts):
+    w = BitWriter()
+    for c in counts:
+        w.write_unary(c)
+    r = BitReader(w.getvalue(), w.bit_length)
+    for c in counts:
+        assert r.read_unary() == c
+
+
+@given(st.integers(0, 2**64 - 1), st.integers(0, 64))
+def test_bytes_roundtrip(value, extra_pad):
+    w = BitWriter()
+    w.write(value, 64)
+    w.write(0, extra_pad)
+    r = BitReader.from_bytes(w.to_bytes())
+    assert r.read(64) == value

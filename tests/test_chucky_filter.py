@@ -1,0 +1,337 @@
+"""The Chucky filter: correctness, maintenance, overflows, persistence,
+and I/O accounting (paper sections 4.1, 4.4, 4.5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.distributions import LidDistribution
+from repro.common.counters import MemoryIOCounter
+from repro.common.errors import FilterError
+from repro.chucky.filter import (
+    ChuckyFilter,
+    UncompressedLidFilter,
+    partner_bucket,
+    primary_bucket,
+)
+
+
+DIST = LidDistribution(5, 6)
+
+
+def lid_sampler(rng, dist=DIST):
+    probs = [float(p) for p in dist.probabilities()]
+    return lambda: rng.choices(list(dist.lids), weights=probs)[0]
+
+
+def build_filter(n=4000, seed=3, cls=ChuckyFilter, **kw):
+    rng = random.Random(seed)
+    f = cls(capacity=n, dist=DIST, bits_per_entry=10.0, **kw)
+    draw = lid_sampler(rng)
+    keys = rng.sample(range(10**12), n)
+    pairs = [(k, draw()) for k in keys]
+    for k, lid in pairs:
+        f.insert(k, lid)
+    return f, pairs
+
+
+class TestAddressing:
+    def test_partner_is_involution_any_bucket_count(self):
+        for n in (7, 100, 1000, 1 << 10):
+            for key in range(50):
+                b = primary_bucket(key, n)
+                from repro.common.hashing import fingerprint_bits
+
+                fp = fingerprint_bits(key, 9)
+                p = partner_bucket(b, fp, 9, n)
+                assert partner_bucket(p, fp, 9, n) == b
+
+    def test_partner_requires_min_length(self):
+        with pytest.raises(ValueError):
+            partner_bucket(0, 0b111, 3, 100)
+
+    def test_bucket_pair_shared_across_versions(self):
+        f, _ = build_filter(64)
+        for key in range(200):
+            assert f.bucket_pair(key) == f.bucket_pair(key)
+
+
+class TestInsertQuery:
+    def test_no_false_negatives(self):
+        f, pairs = build_filter(4000)
+        for k, lid in pairs:
+            assert lid in f.query(k)
+
+    def test_fpr_close_to_codebook_model(self):
+        f, _ = build_filter(6000)
+        rng = random.Random(99)
+        negatives = [10**13 + i for i in range(4000)]
+        fpr = sum(len(f.query(k)) for k in negatives) / len(negatives)
+        model = f.codebook.expected_fpr() * f.load_factor
+        assert fpr == pytest.approx(model, rel=0.5)
+
+    def test_query_costs_at_most_two_bucket_ios_plus_extras(self):
+        mem = MemoryIOCounter()
+        f = ChuckyFilter(1000, DIST, memory_ios=mem)
+        f.insert(1, 6)
+        mem.reset()
+        f.query(1)
+        assert mem.get("filter") <= 2
+
+    def test_insert_cost_about_two_ios(self):
+        """Section 4.1: ~2 memory I/Os per inserted entry."""
+        mem = MemoryIOCounter()
+        f = ChuckyFilter(4000, DIST, memory_ios=mem)
+        rng = random.Random(0)
+        draw = lid_sampler(rng)
+        n = 3500
+        for k in rng.sample(range(10**10), n):
+            f.insert(k, draw())
+        assert mem.get("filter") / n < 3.5
+
+    def test_out_of_range_lid_rejected(self):
+        f = ChuckyFilter(100, DIST)
+        with pytest.raises(FilterError):
+            f.insert(1, 99)
+        with pytest.raises(FilterError):
+            f.insert(1, 0)
+
+    def test_duplicate_versions_coexist(self):
+        """Chucky maps obsolete versions until compaction (section 4.1):
+        the same key can hold several LIDs at once."""
+        f = ChuckyFilter(100, DIST)
+        for lid in (1, 3, 6):
+            f.insert(42, lid)
+        assert set(f.query(42)) >= {1, 3, 6}
+
+    def test_query_returns_sorted_young_first(self):
+        f = ChuckyFilter(100, DIST)
+        for lid in (6, 2, 4):
+            f.insert(7, lid)
+        result = f.query(7)
+        assert result == sorted(result)
+
+
+class TestUpdateRemove:
+    def test_update_moves_lid(self):
+        f = ChuckyFilter(100, DIST)
+        f.insert(5, 2)
+        assert f.update_lid(5, 2, 6)
+        assert 6 in f.query(5)
+        assert 2 not in f.query(5)
+
+    def test_update_same_lid_is_noop(self):
+        f = ChuckyFilter(100, DIST)
+        f.insert(5, 3)
+        assert f.update_lid(5, 3, 3)
+        assert f.query(5) == [3]
+
+    def test_update_changes_fingerprint_length(self):
+        """Malleable fingerprints: the stored fingerprint grows when an
+        entry moves to a larger level, without changing buckets."""
+        f = ChuckyFilter(100, DIST)
+        f.insert(5, 1)
+        short = f.fingerprint(5, 1)
+        f.update_lid(5, 1, 6)
+        longer = f.fingerprint(5, 6)
+        assert f._fp_length(6) > f._fp_length(1)
+        assert longer >> (f._fp_length(6) - f._fp_length(1)) == short
+
+    def test_remove_deletes_mapping(self):
+        f = ChuckyFilter(100, DIST)
+        f.insert(5, 4)
+        assert f.remove(5, 4)
+        assert f.query(5) == []
+        assert f.num_entries == 0
+
+    def test_remove_missing_reports_miss(self):
+        f = ChuckyFilter(100, DIST)
+        assert not f.remove(5, 4)
+        assert f.maintenance_misses == 1
+
+    def test_mass_update_and_remove_no_misses(self):
+        f, pairs = build_filter(3000)
+        rng = random.Random(5)
+        for k, lid in pairs[:1000]:
+            new = min(lid + rng.randrange(1, 3), DIST.num_sublevels)
+            assert f.update_lid(k, lid, new)
+        for k, lid in pairs[1000:2000]:
+            assert f.remove(k, lid)
+        assert f.maintenance_misses == 0
+
+
+class TestEntryOverflowsAht:
+    def test_more_than_2s_versions_overflow_to_aht(self):
+        """Section 4.5: > 2S versions of one key cannot fit the bucket
+        pair; the AHT absorbs them and queries still find every LID."""
+        f = ChuckyFilter(400, DIST)
+        for i in range(12):  # 12 > 2*4 versions
+            f.insert(42, DIST.num_sublevels)
+        assert len(f.query(42)) >= 1
+        assert sum(len(v) for v in f.aht.values()) >= 12 - 8
+
+    def test_aht_entries_removable(self):
+        f = ChuckyFilter(400, DIST)
+        for _ in range(12):
+            f.insert(42, 6)
+        removed = 0
+        while f.remove(42, 6):
+            removed += 1
+        assert removed == 12
+        assert f.query(42) == []
+        assert not f.aht
+
+    def test_aht_update(self):
+        f = ChuckyFilter(400, DIST)
+        for _ in range(12):
+            f.insert(42, 5)
+        assert f.update_lid(42, 5, 6)
+        assert 6 in f.query(42)
+
+
+class TestRareBucketOverflow:
+    def test_rare_combo_bucket_roundtrips(self):
+        """Force a bucket into a rare combination (all smallest-level
+        LIDs) and verify queries still resolve through the overflow HT."""
+        f = ChuckyFilter(2000, DIST)
+        rng = random.Random(11)
+        placed = []
+        # Insert many lid-1 entries; some bucket will fill with lid 1s.
+        for k in rng.sample(range(10**9), 600):
+            f.insert(k, 1)
+            placed.append(k)
+        assert all(1 in f.query(k) for k in placed)
+        assert len(f.overflow) > 0  # some buckets hold rare combos
+
+    def test_overflow_cleared_when_combo_becomes_frequent(self):
+        f = ChuckyFilter(2000, DIST)
+        rng = random.Random(12)
+        keys = rng.sample(range(10**9), 400)
+        for k in keys:
+            f.insert(k, 1)
+        n_overflow = len(f.overflow)
+        for k in keys:
+            f.update_lid(k, 1, DIST.num_sublevels)
+        assert len(f.overflow) < max(1, n_overflow)
+        assert all(DIST.num_sublevels in f.query(k) for k in keys)
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        f, pairs = build_filter(1500)
+        blob = f.persist()
+        g = ChuckyFilter.recover(blob, DIST, bits_per_entry=10.0)
+        assert g.num_entries == f.num_entries
+        for k, lid in pairs[:500]:
+            assert lid in g.query(k)
+
+    def test_roundtrip_preserves_overflow_and_aht(self):
+        f = ChuckyFilter(400, DIST)
+        rng = random.Random(13)
+        for k in rng.sample(range(10**9), 200):
+            f.insert(k, 1)
+        for _ in range(12):
+            f.insert(42, 6)
+        blob = f.persist()
+        g = ChuckyFilter.recover(blob, DIST, bits_per_entry=10.0)
+        assert len(g.overflow) == len(f.overflow)
+        assert sorted(g.query(42)) == sorted(f.query(42))
+
+    def test_recover_rejects_mismatched_geometry(self):
+        f, _ = build_filter(200)
+        blob = f.persist()
+        with pytest.raises(FilterError):
+            ChuckyFilter.recover(blob, DIST, bits_per_entry=12.0)
+
+    def test_persist_is_deterministic(self):
+        f, _ = build_filter(300, seed=1)
+        assert f.persist() == f.persist()
+
+
+class TestUncompressed:
+    def test_lid_bits_steal_from_fingerprint(self):
+        f = UncompressedLidFilter(100, DIST, bits_per_entry=10.0)
+        assert f.lid_bits == 3  # ceil(log2(6))
+        assert f.fp_bits == 7
+
+    def test_no_false_negatives(self):
+        f, pairs = build_filter(2000, cls=UncompressedLidFilter)
+        for k, lid in pairs:
+            assert lid in f.query(k)
+
+    def test_fpr_grows_with_levels(self):
+        """Eq 6: more levels -> wider integer LIDs -> higher FPR."""
+        small = UncompressedLidFilter(100, LidDistribution(5, 3))
+        large = UncompressedLidFilter(100, LidDistribution(5, 9))
+        assert large.expected_fpr() > small.expected_fpr()
+
+    def test_compressed_fpr_beats_uncompressed(self):
+        """The headline comparison (Figure 14 B): same budget, Chucky's
+        compression keeps fingerprints longer."""
+        rng = random.Random(17)
+        n = 5000
+        comp, pairs = build_filter(n, seed=17)
+        uncomp = UncompressedLidFilter(n, DIST, bits_per_entry=10.0)
+        for k, lid in pairs:
+            uncomp.insert(k, lid)
+        negatives = [10**13 + i for i in range(3000)]
+        fpr_c = sum(len(comp.query(k)) for k in negatives) / len(negatives)
+        fpr_u = sum(len(uncomp.query(k)) for k in negatives) / len(negatives)
+        assert fpr_c < fpr_u
+
+    def test_size_accounting(self):
+        f = UncompressedLidFilter(1000, DIST, bits_per_entry=10.0)
+        assert f.size_bits == f.num_buckets * 4 * (f.lid_bits + f.fp_bits)
+
+
+class TestSizing:
+    def test_five_percent_over_provisioning(self):
+        f = ChuckyFilter(9500, DIST)
+        assert f.num_buckets * 4 >= 10000  # 9500 / 0.95
+
+    def test_size_bits_scales_with_buckets(self):
+        f = ChuckyFilter(1000, DIST, bits_per_entry=10.0)
+        assert f.size_bits >= f.num_buckets * 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChuckyFilter(0, DIST)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_random_maintenance_sequence(data):
+    """Property: a random insert/update/remove trace keeps the filter
+    exactly consistent with a multiset reference model (no false
+    negatives, no maintenance misses)."""
+    dist = LidDistribution(3, 4)
+    f = ChuckyFilter(600, dist, bits_per_entry=10.0)
+    reference: dict[int, list[int]] = {}
+    keys = data.draw(
+        st.lists(st.integers(0, 10**9), min_size=5, max_size=60, unique=True)
+    )
+    for step in range(data.draw(st.integers(10, 120))):
+        key = data.draw(st.sampled_from(keys))
+        lids = reference.get(key, [])
+        action = data.draw(st.sampled_from(["insert", "update", "remove"]))
+        if action == "insert" or not lids:
+            lid = data.draw(st.integers(1, dist.num_sublevels))
+            f.insert(key, lid)
+            reference.setdefault(key, []).append(lid)
+        elif action == "update":
+            old = data.draw(st.sampled_from(lids))
+            new = data.draw(st.integers(1, dist.num_sublevels))
+            assert f.update_lid(key, old, new)
+            lids.remove(old)
+            lids.append(new)
+        else:
+            old = data.draw(st.sampled_from(lids))
+            assert f.remove(key, old)
+            lids.remove(old)
+    for key, lids in reference.items():
+        got = f.query(key)
+        for lid in lids:
+            assert lid in got
+    assert f.maintenance_misses == 0

@@ -1,0 +1,64 @@
+"""The inspection CLI (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_geometry_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert (args.size_ratio, args.levels) == (5, 6)
+
+    def test_short_flags(self):
+        args = build_parser().parse_args(
+            ["fpr", "-t", "4", "-l", "5", "-k", "3", "-z", "2", "-m", "12"]
+        )
+        assert (args.size_ratio, args.levels, args.runs_per_level,
+                args.runs_at_last, args.bits) == (4, 5, 3, 2, 12.0)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "LID entropy" in out
+        assert "A=6 sub-levels" in out
+
+    def test_fpr(self, capsys):
+        assert main(["fpr", "-m", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq 16" in out and "Eq 3" in out
+
+    def test_fpr_infeasible_budget_still_succeeds(self, capsys):
+        assert main(["fpr", "-m", "5"]) == 0
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_codebook(self, capsys):
+        assert main(["codebook"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprints by level" in out
+
+    def test_codebook_infeasible_fails(self, capsys):
+        assert main(["codebook", "-m", "5"]) == 1
+
+    def test_workload_each_policy(self, capsys):
+        for policy in ("chucky", "bloom", "none"):
+            code = main(
+                ["workload", "--policy", policy, "--ops", "400",
+                 "--reads", "100", "--buffer", "16", "-t", "3"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "ns/read" in out
+            assert "write_amplification" in out
+
+    def test_workload_xor_policy(self, capsys):
+        assert main(
+            ["workload", "--policy", "xor", "--ops", "300",
+             "--reads", "80", "--buffer", "16", "-t", "3"]
+        ) == 0

@@ -1,0 +1,117 @@
+"""I/O counters and the latency cost model."""
+
+import pytest
+
+from repro.common.cost import CostLedger, CostModel, LatencyBreakdown
+from repro.common.counters import IOCounters, MemoryIOCounter, StorageIOCounter
+
+
+class TestMemoryIOCounter:
+    def test_add_and_get(self):
+        c = MemoryIOCounter()
+        c.add("filter", 3)
+        c.add("filter")
+        assert c.get("filter") == 4
+        assert c.get("fence") == 0
+
+    def test_total(self):
+        c = MemoryIOCounter()
+        c.add("a", 2)
+        c.add("b", 5)
+        assert c.total == 7
+
+    def test_negative_rejected(self):
+        c = MemoryIOCounter()
+        with pytest.raises(ValueError):
+            c.add("a", -1)
+
+    def test_snapshot_diff(self):
+        c = MemoryIOCounter()
+        c.add("a", 2)
+        snap = c.snapshot()
+        c.add("a", 3)
+        c.add("b", 1)
+        assert c.diff(snap) == {"a": 3, "b": 1}
+
+    def test_reset(self):
+        c = MemoryIOCounter()
+        c.add("a")
+        c.reset()
+        assert c.total == 0
+
+
+class TestStorageIOCounter:
+    def test_reads_writes(self):
+        c = StorageIOCounter()
+        c.read(2)
+        c.write()
+        assert (c.reads, c.writes, c.total) == (2, 1, 3)
+
+    def test_reset(self):
+        c = StorageIOCounter()
+        c.read()
+        c.reset()
+        assert c.total == 0
+
+
+class TestCostModel:
+    def test_paper_defaults(self):
+        """Paper section 1: memory ~100 ns, Optane read ~10 us."""
+        m = CostModel()
+        assert m.memory_io_ns == 100.0
+        assert m.storage_read_ns == 10_000.0
+
+    def test_pricing(self):
+        m = CostModel(memory_io_ns=10, storage_read_ns=1000, storage_write_ns=2000)
+        assert m.memory_cost(3) == 30
+        assert m.storage_cost(2, 1) == 4000
+
+
+class TestLatencyBreakdown:
+    def test_total(self):
+        b = LatencyBreakdown(filter_ns=1, memtable_ns=2, fence_ns=3, storage_ns=4)
+        assert b.total_ns == 10
+
+    def test_add(self):
+        a = LatencyBreakdown(filter_ns=1)
+        a.add(LatencyBreakdown(filter_ns=2, storage_ns=5))
+        assert a.filter_ns == 3
+        assert a.storage_ns == 5
+
+    def test_scaled(self):
+        b = LatencyBreakdown(filter_ns=10, storage_ns=20).scaled(0.5)
+        assert (b.filter_ns, b.storage_ns) == (5, 10)
+
+    def test_as_dict_includes_total(self):
+        d = LatencyBreakdown(filter_ns=1).as_dict()
+        assert d["total_ns"] == 1
+
+
+class TestCostLedger:
+    def test_charges_route_to_components(self):
+        ledger = CostLedger(model=CostModel(memory_io_ns=1, storage_read_ns=10))
+        ledger.charge_memory("filter", 5)
+        ledger.charge_memory("unknown_component", 2)
+        ledger.charge_storage(3)
+        assert ledger.breakdown.filter_ns == 5
+        assert ledger.breakdown.other_ns == 2
+        assert ledger.breakdown.storage_ns == 30
+
+    def test_per_operation(self):
+        ledger = CostLedger(model=CostModel(memory_io_ns=1))
+        ledger.charge_memory("filter", 10)
+        ledger.operations = 5
+        assert ledger.per_operation().filter_ns == 2
+
+    def test_per_operation_empty(self):
+        assert CostLedger().per_operation().total_ns == 0
+
+
+class TestIOCounters:
+    def test_bundle_reset(self):
+        c = IOCounters()
+        c.memory.add("x")
+        c.storage.read()
+        c.reset()
+        assert c.memory.total == 0
+        assert c.storage.total == 0

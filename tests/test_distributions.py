@@ -1,0 +1,141 @@
+"""LID probability distributions — Eqs 7, 8, 12 and the Figure 4 ground
+truth."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.distributions import (
+    LidDistribution,
+    combination_probability,
+    combination_weights,
+    enumerate_combinations,
+    level_capacity_fractions,
+    sublevel_probabilities,
+)
+
+
+class TestLevelCapacities:
+    def test_fig4_denominators(self):
+        """Figure 4 (T=5, L=3): level fractions n/124 with 124 = 5^3 - 1."""
+        p = level_capacity_fractions(5, 3)
+        assert p == [Fraction(4, 124), Fraction(20, 124), Fraction(100, 124)]
+
+    def test_sum_to_one(self):
+        for t in (2, 3, 5, 10):
+            for l in (1, 2, 5, 8):
+                assert sum(level_capacity_fractions(t, l)) == 1
+
+    def test_exponential_growth(self):
+        p = level_capacity_fractions(4, 6)
+        for i in range(5):
+            assert p[i + 1] == p[i] * 4
+
+    def test_converges_to_asymptotic(self):
+        """Eq 7's limit: p_L -> (T-1)/T as L grows."""
+        p = level_capacity_fractions(5, 12)
+        assert float(p[-1]) == pytest.approx(4 / 5, abs=1e-6)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            level_capacity_fractions(1, 3)
+        with pytest.raises(ValueError):
+            level_capacity_fractions(4, 0)
+
+
+class TestSublevelProbabilities:
+    def test_fig4_lid6(self):
+        """Paper: 'LID 6 contains a fraction of 5/124 ~ 4%' (T=5, K=4,
+        Z=1, L=3)."""
+        f = sublevel_probabilities(5, 3, runs_per_level=4, runs_at_last_level=1)
+        assert f[6 - 1] == Fraction(5, 124)
+
+    def test_count_matches_eq1(self):
+        f = sublevel_probabilities(5, 4, runs_per_level=3, runs_at_last_level=2)
+        assert len(f) == 3 * 3 + 2
+
+    def test_sums_to_one(self):
+        f = sublevel_probabilities(3, 5, runs_per_level=2, runs_at_last_level=2)
+        assert sum(f) == 1
+
+    def test_even_split_within_level(self):
+        f = sublevel_probabilities(5, 2, runs_per_level=4, runs_at_last_level=1)
+        assert f[0] == f[1] == f[2] == f[3]
+
+    def test_invalid_kz_rejected(self):
+        with pytest.raises(ValueError):
+            sublevel_probabilities(5, 3, runs_per_level=0)
+
+
+class TestLidDistribution:
+    def test_geometry(self, dist_fig4):
+        assert dist_fig4.num_sublevels == 9
+        assert list(dist_fig4.lids) == list(range(1, 10))
+
+    def test_level_of_lid(self, dist_fig4):
+        assert dist_fig4.level_of_lid(1) == 1
+        assert dist_fig4.level_of_lid(4) == 1
+        assert dist_fig4.level_of_lid(5) == 2
+        assert dist_fig4.level_of_lid(9) == 3
+
+    def test_level_of_lid_out_of_range(self, dist_fig4):
+        with pytest.raises(ValueError):
+            dist_fig4.level_of_lid(10)
+        with pytest.raises(ValueError):
+            dist_fig4.level_of_lid(0)
+
+    def test_most_probable_is_oldest(self, dist_fig4):
+        assert dist_fig4.most_probable_lid() == 9
+        probs = dist_fig4.probabilities()
+        assert probs[-1] == max(probs)
+
+    def test_weights_are_floats_summing_to_one(self, dist_default):
+        w = dist_default.weights()
+        assert sum(w.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LidDistribution(size_ratio=1, num_levels=3)
+        with pytest.raises(ValueError):
+            LidDistribution(size_ratio=3, num_levels=3, runs_per_level=0)
+
+
+class TestCombinations:
+    def test_count_formula(self):
+        """|C| = C(A + S - 1, S) (section 4.2)."""
+        for a, s in ((3, 2), (9, 4), (5, 3)):
+            assert len(enumerate_combinations(a, s)) == math.comb(a + s - 1, s)
+
+    def test_sorted_tuples(self):
+        for combo in enumerate_combinations(4, 3):
+            assert combo == tuple(sorted(combo))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_combinations(0, 2)
+
+    def test_fig7_combination_probability(self):
+        """Paper section 4.2: for T=10, L=2, S=2 the combination {1,2}
+        has probability 2 * (1/11) * (10/11) = 20/121."""
+        f = sublevel_probabilities(10, 2)
+        assert combination_probability((1, 2), f) == Fraction(20, 121)
+
+    def test_repeated_lid_multinomial_coefficient(self):
+        f = [Fraction(1, 2), Fraction(1, 2)]
+        assert combination_probability((1, 1), f) == Fraction(1, 4)
+        assert combination_probability((1, 2), f) == Fraction(1, 2)
+
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(1, 4),
+    )
+    def test_weights_sum_to_one(self, t, l, k, s):
+        """Property: the multinomial over combinations is a distribution."""
+        dist = LidDistribution(t, l, min(k, t), 1)
+        weights = combination_weights(dist, s)
+        assert sum(weights.values()) == pytest.approx(1.0, abs=1e-9)

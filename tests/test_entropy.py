@@ -1,0 +1,164 @@
+"""Entropy and ACL analysis — Eqs 9, 11, 13 and Figures 4-8 facts."""
+
+import pytest
+
+from repro.coding.distributions import LidDistribution
+from repro.coding.entropy import (
+    acl_upper_bound,
+    acl_upper_bound_exact,
+    average_code_length,
+    combination_entropy_per_lid,
+    grouped_acl,
+    huffman_acl,
+    integer_acl,
+    lid_entropy,
+    lid_entropy_exact,
+)
+
+
+class TestFig4WorkedExample:
+    def test_acl_is_152(self, dist_fig4):
+        """Paper: 'this equation computes 1.52 bits for the Huffman tree
+        in Figure 4' — exactly 189/124."""
+        assert huffman_acl(dist_fig4) == pytest.approx(189 / 124, abs=1e-9)
+
+    def test_integer_encoding_needs_four_bits(self, dist_fig4):
+        """'a saving of 62% relative to integer encoding, which would
+        require four bits to represent each of the nine LIDs'."""
+        assert integer_acl(dist_fig4) == 4
+        saving = 1 - huffman_acl(dist_fig4) / 4
+        assert saving == pytest.approx(0.62, abs=0.005)
+
+
+class TestEntropyClosedForm:
+    def test_matches_exact_in_the_limit(self):
+        """Eq 9's closed form equals the exact entropy as L -> inf."""
+        for t in (2, 3, 5, 10):
+            exact = lid_entropy_exact(LidDistribution(t, 30))
+            assert lid_entropy(t) == pytest.approx(exact, abs=1e-5)
+
+    def test_with_k_and_z(self):
+        t, k, z = 5, 4, 3
+        exact = lid_entropy_exact(LidDistribution(t, 18, k, z))
+        assert lid_entropy(t, k, z) == pytest.approx(exact, abs=1e-6)
+
+    def test_entropy_decreases_with_t(self):
+        """Figure 6: more skew (larger T) means lower entropy."""
+        values = [lid_entropy(t) for t in range(2, 17)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            lid_entropy(1)
+
+
+class TestAclUpperBound:
+    def test_closed_form_matches_exact_limit(self):
+        for t in (2, 3, 5, 8):
+            exact = acl_upper_bound_exact(LidDistribution(t, 30))
+            assert acl_upper_bound(t) == pytest.approx(exact, abs=1e-4)
+
+    def test_sandwich(self):
+        """Figure 5: H <= Huffman ACL <= ACL_UB <= H + 1 at every size."""
+        for l in range(2, 12):
+            d = LidDistribution(5, l)
+            h = lid_entropy_exact(d)
+            acl = huffman_acl(d)
+            ub = acl_upper_bound_exact(d)
+            assert h - 1e-9 <= acl <= ub + 1e-9
+            assert ub <= h + 1 + 1e-9
+
+    def test_integer_encoding_diverges_but_huffman_converges(self):
+        """Figure 5's headline: binary encoding grows with L, the Huffman
+        ACL converges."""
+        mid, large = LidDistribution(5, 6), LidDistribution(5, 12)
+        assert integer_acl(large) > integer_acl(mid)
+        assert huffman_acl(large) - huffman_acl(mid) < 0.01
+
+    def test_acl_at_least_one_bit(self):
+        """Section 4.2: 'each LID requires at least one bit... the ACL
+        cannot drop below one' (without grouping)."""
+        for t in (2, 8, 16):
+            assert huffman_acl(LidDistribution(t, 6)) >= 1.0
+
+
+class TestGroupedCoding:
+    def test_fig7_toy_values(self):
+        """Figure 7 (T=10, L=2, S=2): ACL single=1, perms~0.63,
+        combs~0.58."""
+        d = LidDistribution(10, 2)
+        assert grouped_acl(d, 1) == pytest.approx(1.0)
+        assert grouped_acl(d, 2, "perm") == pytest.approx(0.63, abs=0.005)
+        assert grouped_acl(d, 2, "comb") == pytest.approx(0.587, abs=0.005)
+
+    def test_combs_never_worse_than_perms(self):
+        """Figure 8: the combinations ACL is strictly lower than the
+        permutations ACL for group sizes > 1."""
+        d = LidDistribution(10, 5)
+        for g in (2, 3, 4):
+            assert grouped_acl(d, g, "comb") < grouped_acl(d, g, "perm")
+
+    def test_acl_decreases_with_group_size(self):
+        """Figures 6/8: grouping pushes the ACL below one bit, toward the
+        entropy."""
+        d = LidDistribution(10, 4)
+        perm = [grouped_acl(d, g, "perm") for g in (1, 2, 3, 4)]
+        assert perm == sorted(perm, reverse=True)
+        assert perm[-1] < 1.0
+
+    def test_grouped_acl_lower_bounded_by_entropy(self):
+        d = LidDistribution(6, 4)
+        h = lid_entropy_exact(d)
+        for g in (1, 2, 3):
+            assert grouped_acl(d, g, "comb") >= combination_entropy_per_lid(d, g) - 1e-9
+            assert grouped_acl(d, g, "perm") >= h / 1 - 1e-9 or True
+            assert grouped_acl(d, g, "perm") >= h - 1e-9
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_acl(LidDistribution(3, 2), 2, "nope")
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_acl(LidDistribution(3, 2), 0)
+
+
+class TestCombinationEntropy:
+    def test_equals_lid_entropy_at_group_one(self):
+        d = LidDistribution(7, 4)
+        assert combination_entropy_per_lid(d, 1) == pytest.approx(
+            lid_entropy_exact(d)
+        )
+
+    def test_drops_with_group_size(self):
+        """Eq 13 / Figure 8: discarding ordering information lowers the
+        per-LID entropy as S grows."""
+        d = LidDistribution(10, 6)
+        values = [combination_entropy_per_lid(d, s) for s in (1, 2, 3, 4, 5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_brute_force(self):
+        """Eq 13 equals the directly computed entropy of the multinomial
+        combination distribution."""
+        import math
+
+        from repro.coding.distributions import combination_weights
+
+        d = LidDistribution(5, 3)
+        s = 3
+        weights = combination_weights(d, s)
+        brute = -sum(p * math.log2(p) for p in weights.values() if p > 0) / s
+        assert combination_entropy_per_lid(d, s) == pytest.approx(brute, abs=1e-9)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            combination_entropy_per_lid(LidDistribution(3, 2), 0)
+
+
+class TestAverageCodeLength:
+    def test_weighted_mean(self):
+        assert average_code_length({"a": 1, "b": 3}, {"a": 3.0, "b": 1.0}) == 1.5
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            average_code_length({"a": 1}, {"a": 0.0})

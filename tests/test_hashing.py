@@ -1,0 +1,109 @@
+"""Hashing and fingerprint derivation — especially the prefix property
+Malleable Fingerprinting depends on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.hashing import (
+    FP_MIN,
+    alt_offset,
+    bucket_pair,
+    fingerprint_bits,
+    key_digest,
+    splitmix64,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_spreads_consecutive_inputs(self):
+        outs = {splitmix64(i) for i in range(1000)}
+        assert len(outs) == 1000
+
+    def test_stays_in_64_bits(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+
+class TestKeyDigest:
+    def test_int_str_bytes_supported(self):
+        assert isinstance(key_digest(42), int)
+        assert isinstance(key_digest("hello"), int)
+        assert isinstance(key_digest(b"hello"), int)
+
+    def test_str_equals_its_utf8_bytes(self):
+        assert key_digest("hello") == key_digest(b"hello")
+
+    def test_seed_decorrelates(self):
+        assert key_digest(42, seed=0) != key_digest(42, seed=1)
+
+    def test_long_bytes(self):
+        a = key_digest(b"x" * 100)
+        b = key_digest(b"x" * 99 + b"y")
+        assert a != b
+
+
+class TestFingerprintPrefixProperty:
+    @given(st.integers(0, 2**62), st.integers(FP_MIN, 30), st.integers(FP_MIN, 30))
+    def test_all_lengths_share_fp_min_prefix(self, key, len_a, len_b):
+        """The core MF requirement: every fingerprint length of one key
+        agrees on the first FP_MIN bits, so the bucket pair is shared."""
+        fa = fingerprint_bits(key, len_a)
+        fb = fingerprint_bits(key, len_b)
+        assert fa >> (len_a - FP_MIN) == fb >> (len_b - FP_MIN)
+
+    @given(st.integers(0, 2**62), st.integers(FP_MIN, 40))
+    def test_longer_is_extension_of_shorter(self, key, length):
+        short = fingerprint_bits(key, length)
+        longer = fingerprint_bits(key, length + 3)
+        assert longer >> 3 == short
+
+    @given(st.integers(0, 2**62), st.integers(FP_MIN, 40))
+    def test_never_zero(self, key, length):
+        """Zero is reserved for empty Chucky slots."""
+        assert fingerprint_bits(key, length) != 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint_bits(1, FP_MIN - 1)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint_bits(1, 65)
+
+
+class TestBucketPair:
+    def test_requires_power_of_two(self):
+        fp = fingerprint_bits(7, 12)
+        with pytest.raises(ValueError):
+            bucket_pair(7, 100, fp, 12)
+
+    @given(st.integers(0, 2**62))
+    def test_xor_alternative_is_involution(self, key):
+        num_buckets = 1 << 10
+        fp = fingerprint_bits(key, 12)
+        b1, b2 = bucket_pair(key, num_buckets, fp, 12)
+        off = alt_offset(fp, 12, num_buckets)
+        assert b2 == b1 ^ off
+        assert b2 ^ off == b1
+
+    @given(st.integers(0, 2**62))
+    def test_buckets_differ(self, key):
+        fp = fingerprint_bits(key, 12)
+        b1, b2 = bucket_pair(key, 1 << 8, fp, 12)
+        assert b1 != b2
+
+    @given(st.integers(0, 2**62), st.integers(FP_MIN, 20), st.integers(FP_MIN, 20))
+    def test_pair_independent_of_fp_length(self, key, len_a, len_b):
+        """Different malleable lengths of one key map to the same pair."""
+        n = 1 << 9
+        pa = bucket_pair(key, n, fingerprint_bits(key, len_a), len_a)
+        pb = bucket_pair(key, n, fingerprint_bits(key, len_b), len_b)
+        assert pa == pb
+
+    def test_alt_offset_requires_min_length(self):
+        with pytest.raises(ValueError):
+            alt_offset(0b1111, 4, 1 << 8)

@@ -1,0 +1,107 @@
+"""Kraft–McMillan utilities and canonical prefix codes — the machinery
+behind Fluid Alignment Coding's pick-the-lengths-directly construction."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.kraft import CanonicalCode, kraft_sum, lengths_are_feasible
+
+
+class TestKraftSum:
+    def test_exact(self):
+        assert kraft_sum([1, 2, 2]) == Fraction(1)
+
+    def test_accepts_mapping(self):
+        assert kraft_sum({"a": 1, "b": 1}) == Fraction(1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            kraft_sum([-1])
+
+    def test_feasibility(self):
+        assert lengths_are_feasible([1, 2, 3, 3])
+        assert not lengths_are_feasible([1, 1, 2])
+
+
+class TestCanonicalCode:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalCode({})
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalCode({"a": 0})
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalCode({"a": 1, "b": 1, "c": 1})
+
+    def test_classic_assignment(self):
+        code = CanonicalCode({"a": 1, "b": 2, "c": 3, "d": 3})
+        assert code.encode("a") == (0b0, 1)
+        assert code.encode("b") == (0b10, 2)
+        assert code.encode("c") == (0b110, 3)
+        assert code.encode("d") == (0b111, 3)
+
+    def test_codes_are_prefix_free(self):
+        code = CanonicalCode({i: l for i, l in enumerate([2, 2, 3, 4, 4, 4])})
+        words = code.codewords()
+        as_strings = [format(cw, f"0{l}b") for cw, l in words.values()]
+        for i, a in enumerate(as_strings):
+            for j, b in enumerate(as_strings):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_decode_prefix_ignores_trailing_bits(self):
+        code = CanonicalCode({"a": 1, "b": 2, "c": 2})
+        cw, l = code.encode("b")
+        padded = (cw << 7) | 0b1010101
+        assert code.decode_prefix(padded, l + 7) == ("b", l)
+
+    def test_decode_unknown_prefix_raises(self):
+        code = CanonicalCode({"a": 2, "b": 2})  # only 00 and 01 are codes
+        with pytest.raises(ValueError):
+            code.decode_prefix(0b11, 2)
+
+    def test_max_length(self):
+        assert CanonicalCode({"a": 1, "b": 5, "c": 5}).max_length == 5
+
+    def test_same_length_symbols_contiguous_in_insertion_order(self):
+        """The Decoding Table relies on same-length codewords forming a
+        contiguous block ordered by insertion."""
+        code = CanonicalCode({"x": 3, "y": 3, "z": 3, "w": 1})
+        cx, _ = code.encode("x")
+        cy, _ = code.encode("y")
+        cz, _ = code.encode("z")
+        assert (cy - cx, cz - cy) == (1, 1)
+
+
+@given(
+    st.lists(st.integers(1, 12), min_size=1, max_size=40).filter(
+        lambda ls: sum(Fraction(1, 1 << l) for l in ls) <= 1
+    ),
+    st.data(),
+)
+def test_roundtrip_random_feasible_lengths(lengths, data):
+    """Property: any feasible length multiset yields a decodable code."""
+    symbols = {i: l for i, l in enumerate(lengths)}
+    code = CanonicalCode(symbols)
+    stream = data.draw(
+        st.lists(st.sampled_from(sorted(symbols)), min_size=1, max_size=15)
+    )
+    bits, total = 0, 0
+    for s in stream:
+        cw, l = code.encode(s)
+        bits = (bits << l) | cw
+        total += l
+    pos, out = 0, []
+    while pos < total:
+        remaining = total - pos
+        window = bits & ((1 << remaining) - 1)
+        sym, used = code.decode_prefix(window, remaining)
+        out.append(sym)
+        pos += used
+    assert out == stream

@@ -1,0 +1,259 @@
+"""Unit tests for the LSM building blocks: memtable, storage device,
+fence pointers, runs, and the block cache."""
+
+import pytest
+
+from repro.common.counters import MemoryIOCounter, StorageIOCounter
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.entry import Entry, TOMBSTONE
+from repro.lsm.fence import FencePointers
+from repro.lsm.memtable import Memtable
+from repro.lsm.run import Run
+from repro.lsm.storage import StorageDevice
+
+
+def make_entries(keys, seq_start=1):
+    return [Entry(k, f"v{k}", seq_start + i) for i, k in enumerate(sorted(keys))]
+
+
+class TestEntry:
+    def test_tombstone_flag(self):
+        assert Entry(1, TOMBSTONE, 1).is_tombstone
+        assert not Entry(1, "x", 1).is_tombstone
+
+    def test_tombstone_singleton(self):
+        from repro.lsm.entry import _Tombstone
+
+        assert _Tombstone() is TOMBSTONE
+
+    def test_ordering_newest_first_within_key(self):
+        older, newer = Entry(5, "a", 1), Entry(5, "b", 2)
+        assert newer < older
+        assert Entry(4, "c", 9) < older
+
+
+class TestMemtable:
+    def test_put_get(self):
+        mt = Memtable(4)
+        mt.put(1, "a", 1)
+        assert mt.get(1).value == "a"
+        assert mt.get(2) is None
+
+    def test_overwrite_same_key(self):
+        mt = Memtable(4)
+        mt.put(1, "a", 1)
+        mt.put(1, "b", 2)
+        assert mt.get(1).value == "b"
+        assert len(mt) == 1
+
+    def test_delete_buffers_tombstone(self):
+        mt = Memtable(4)
+        mt.delete(7, 1)
+        assert mt.get(7).is_tombstone
+
+    def test_is_full(self):
+        mt = Memtable(2)
+        mt.put(1, "a", 1)
+        assert not mt.is_full
+        mt.put(2, "b", 2)
+        assert mt.is_full
+
+    def test_sorted_entries(self):
+        mt = Memtable(4)
+        for k in (3, 1, 2):
+            mt.put(k, str(k), k)
+        assert [e.key for e in mt.sorted_entries()] == [1, 2, 3]
+
+    def test_scan(self):
+        mt = Memtable(8)
+        for k in range(6):
+            mt.put(k, str(k), k + 1)
+        assert [e.key for e in mt.scan(2, 4)] == [2, 3, 4]
+
+    def test_counts_memory_ios(self):
+        mem = MemoryIOCounter()
+        mt = Memtable(4, mem)
+        mt.put(1, "a", 1)
+        mt.get(1)
+        assert mem.get("memtable") == 2
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Memtable(0)
+
+
+class TestStorageDevice:
+    def test_write_read_roundtrip(self):
+        dev = StorageDevice()
+        entries = make_entries(range(4))
+        rid = dev.write_run([tuple(entries[:2]), tuple(entries[2:])])
+        assert dev.read_block(rid, 0) == tuple(entries[:2])
+        assert dev.num_blocks(rid) == 2
+
+    def test_io_accounting(self):
+        counter = StorageIOCounter()
+        dev = StorageDevice(counter)
+        rid = dev.write_run([tuple(make_entries([1]))])
+        assert counter.writes == 1
+        dev.read_block(rid, 0)
+        dev.read_run(rid)
+        assert counter.reads == 2
+
+    def test_run_ids_never_reused(self):
+        dev = StorageDevice()
+        a = dev.write_run([tuple(make_entries([1]))])
+        dev.delete_run(a)
+        b = dev.write_run([tuple(make_entries([2]))])
+        assert a != b
+
+    def test_missing_run_raises(self):
+        dev = StorageDevice()
+        with pytest.raises(KeyError):
+            dev.read_block(99, 0)
+
+    def test_bad_block_index(self):
+        dev = StorageDevice()
+        rid = dev.write_run([tuple(make_entries([1]))])
+        with pytest.raises(IndexError):
+            dev.read_block(rid, 5)
+
+    def test_counting_suspended(self):
+        counter = StorageIOCounter()
+        dev = StorageDevice(counter)
+        rid = dev.write_run([tuple(make_entries([1]))])
+        with dev.counting_suspended():
+            dev.read_run(rid)
+        assert counter.reads == 0
+        dev.read_run(rid)
+        assert counter.reads == 1
+
+
+class TestFencePointers:
+    def test_locate_charges_log_ios(self):
+        mem = MemoryIOCounter()
+        fences = FencePointers([0, 10, 20, 30], max_key=39)
+        idx = fences.locate(25, mem)
+        assert idx == 2
+        assert mem.get("fence") == 3  # ceil(log2(5)) = 3
+
+    def test_out_of_range_is_free(self):
+        mem = MemoryIOCounter()
+        fences = FencePointers([10, 20], max_key=29)
+        assert fences.locate(5, mem) is None
+        assert fences.locate(99, mem) is None
+        assert mem.total == 0
+
+    def test_boundaries(self):
+        mem = MemoryIOCounter()
+        fences = FencePointers([0, 10], max_key=19)
+        assert fences.locate(0, mem) == 0
+        assert fences.locate(10, mem) == 1
+        assert fences.locate(19, mem) == 1
+
+    def test_block_range(self):
+        fences = FencePointers([0, 10, 20], max_key=29)
+        assert list(fences.block_range(5, 15)) == [0, 1]
+        assert list(fences.block_range(50, 60)) == []
+        assert list(fences.block_range(0, 29)) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FencePointers([], max_key=0)
+        with pytest.raises(ValueError):
+            FencePointers([5, 2], max_key=9)
+
+
+class TestRun:
+    def build(self, keys, block_entries=2):
+        dev = StorageDevice()
+        return Run.build(make_entries(keys), dev, block_entries), dev
+
+    def test_build_and_get(self):
+        run, _ = self.build(range(10))
+        mem = MemoryIOCounter()
+        assert run.get(7, mem).value == "v7"
+        assert run.get(99, mem) is None
+
+    def test_get_counts_one_storage_io(self):
+        run, dev = self.build(range(10))
+        before = dev.counter.reads
+        run.get(3, MemoryIOCounter())
+        assert dev.counter.reads == before + 1
+
+    def test_block_cache_hit_skips_storage(self):
+        run, dev = self.build(range(10))
+        cache = BlockCache(8)
+        mem = MemoryIOCounter()
+        run.get(3, mem, cache)
+        before = dev.counter.reads
+        run.get(3, mem, cache)
+        assert dev.counter.reads == before
+        assert mem.get("cache") == 1
+
+    def test_scan(self):
+        run, _ = self.build(range(10))
+        got = [e.key for e in run.scan(3, 7, MemoryIOCounter())]
+        assert got == [3, 4, 5, 6, 7]
+
+    def test_read_all(self):
+        run, _ = self.build(range(5))
+        assert [e.key for e in run.read_all()] == list(range(5))
+
+    def test_unsorted_rejected(self):
+        dev = StorageDevice()
+        entries = [Entry(2, "a", 1), Entry(1, "b", 2)]
+        with pytest.raises(ValueError):
+            Run.build(entries, dev, 2)
+
+    def test_duplicate_keys_rejected(self):
+        dev = StorageDevice()
+        entries = [Entry(1, "a", 1), Entry(1, "b", 2)]
+        with pytest.raises(ValueError):
+            Run.build(entries, dev, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Run.build([], StorageDevice(), 2)
+
+    def test_drop_invalidates_cache(self):
+        run, dev = self.build(range(4))
+        cache = BlockCache(8)
+        run.get(1, MemoryIOCounter(), cache)
+        assert len(cache) == 1
+        run.drop(cache)
+        assert len(cache) == 0
+
+
+class TestBlockCache:
+    def test_lru_eviction(self):
+        cache = BlockCache(2)
+        cache.put(1, 0, ("a",))
+        cache.put(1, 1, ("b",))
+        cache.get(1, 0)  # touch: 0 becomes MRU
+        cache.put(1, 2, ("c",))  # evicts (1,1)
+        assert cache.get(1, 1) is None
+        assert cache.get(1, 0) == ("a",)
+
+    def test_hit_miss_stats(self):
+        cache = BlockCache(2)
+        cache.get(1, 0)
+        cache.put(1, 0, ("a",))
+        cache.get(1, 0)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_zero_capacity_never_stores(self):
+        cache = BlockCache(0)
+        cache.put(1, 0, ("a",))
+        assert cache.get(1, 0) is None
+
+    def test_invalidate_run(self):
+        cache = BlockCache(4)
+        cache.put(1, 0, ("a",))
+        cache.put(2, 0, ("b",))
+        cache.invalidate_run(1)
+        assert cache.get(1, 0) is None
+        assert cache.get(2, 0) == ("b",)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)

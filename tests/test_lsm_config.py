@@ -1,0 +1,97 @@
+"""LSM geometry: the Dostoevsky T/K/Z design space (Figure 2, Eq 1)."""
+
+import pytest
+
+from repro.lsm.config import LSMConfig, lazy_leveling, leveling, tiering
+
+
+class TestValidation:
+    def test_size_ratio_min(self):
+        with pytest.raises(ValueError):
+            LSMConfig(size_ratio=1)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            LSMConfig(size_ratio=4, runs_per_level=5)
+        with pytest.raises(ValueError):
+            LSMConfig(size_ratio=4, runs_per_level=0)
+
+    def test_z_bounds(self):
+        with pytest.raises(ValueError):
+            LSMConfig(size_ratio=4, runs_at_last_level=0)
+
+    def test_buffer_positive(self):
+        with pytest.raises(ValueError):
+            LSMConfig(buffer_entries=0)
+
+
+class TestGeometry:
+    def test_sublevels_at(self):
+        cfg = LSMConfig(size_ratio=5, runs_per_level=4, runs_at_last_level=2)
+        assert cfg.sublevels_at(1, 3) == 4
+        assert cfg.sublevels_at(2, 3) == 4
+        assert cfg.sublevels_at(3, 3) == 2
+
+    def test_sublevels_out_of_range(self):
+        cfg = LSMConfig()
+        with pytest.raises(ValueError):
+            cfg.sublevels_at(0, 3)
+        with pytest.raises(ValueError):
+            cfg.sublevels_at(4, 3)
+
+    def test_total_sublevels_eq1(self):
+        """A = (L-1) K + Z."""
+        cfg = LSMConfig(size_ratio=5, runs_per_level=4, runs_at_last_level=2)
+        assert cfg.total_sublevels(3) == 2 * 4 + 2
+
+    def test_level_capacity(self):
+        cfg = LSMConfig(size_ratio=3, buffer_entries=10)
+        assert cfg.level_capacity(1) == 30
+        assert cfg.level_capacity(3) == 270
+
+    def test_sublevel_capacity_split(self):
+        cfg = LSMConfig(size_ratio=4, runs_per_level=2, buffer_entries=8)
+        assert cfg.sublevel_capacity(1, 3) == 16
+
+    def test_sublevel_number(self):
+        """'The j-th youngest run at Level i is always at sub-level
+        number (i-1) K + j' (section 2)."""
+        cfg = LSMConfig(size_ratio=5, runs_per_level=2)
+        assert cfg.sublevel_number(1, 1) == 1
+        assert cfg.sublevel_number(2, 1) == 3
+        assert cfg.sublevel_number(3, 2) == 6
+
+
+class TestPresets:
+    def test_leveling(self):
+        cfg = leveling(6)
+        assert (cfg.runs_per_level, cfg.runs_at_last_level) == (1, 1)
+        assert cfg.policy_name == "leveling"
+
+    def test_tiering(self):
+        cfg = tiering(6)
+        assert (cfg.runs_per_level, cfg.runs_at_last_level) == (5, 5)
+        assert cfg.policy_name == "tiering"
+
+    def test_lazy_leveling(self):
+        cfg = lazy_leveling(6)
+        assert (cfg.runs_per_level, cfg.runs_at_last_level) == (5, 1)
+        assert cfg.policy_name == "lazy-leveling"
+
+    def test_policies_coincide_at_t2(self):
+        """Section 2: at T=2 the three merge policies behave identically."""
+        assert (
+            leveling(2).runs_per_level,
+            tiering(2).runs_per_level,
+            lazy_leveling(2).runs_per_level,
+        ) == (1, 1, 1)
+
+    def test_custom_label(self):
+        assert LSMConfig(size_ratio=5, runs_per_level=2).policy_name.startswith(
+            "custom"
+        )
+
+    def test_with_levels(self):
+        cfg = leveling(4).with_levels(7)
+        assert cfg.initial_levels == 7
+        assert cfg.size_ratio == 4

@@ -1,0 +1,83 @@
+"""Algorithm 1 (Malleable Fingerprinting) and its two constraints."""
+
+import pytest
+
+from repro.coding.distributions import LidDistribution
+from repro.common.errors import CodebookError
+from repro.chucky.malleable import (
+    _fit_constraint,
+    _kraft_constraint,
+    cumulative_fp_length,
+    level_count_vector,
+    maximize_fingerprints,
+)
+
+
+class TestLevelCountVector:
+    def test_counts_per_level(self, dist_fig4):
+        # LIDs 1-4 at level 1, 5-8 at level 2, 9 at level 3.
+        assert level_count_vector((1, 4, 5, 9), dist_fig4) == (2, 1, 1)
+        assert level_count_vector((9, 9, 9, 9), dist_fig4) == (0, 0, 4)
+
+    def test_cumulative_fp_length(self):
+        assert cumulative_fp_length((2, 1, 1), [5, 7, 9]) == 2 * 5 + 7 + 9
+
+
+class TestHillClimb:
+    def test_unconstrained_reaches_fp_max(self):
+        fp = maximize_fingerprints(3, lambda fps: True, fp_min=5, fp_max=12)
+        assert fp == [12, 12, 12]
+
+    def test_infeasible_raises(self):
+        with pytest.raises(CodebookError):
+            maximize_fingerprints(3, lambda fps: False, fp_min=5)
+
+    def test_budget_constraint_respected(self):
+        # Total fingerprint budget of 24 bits across 3 levels, weighted
+        # equally: climb must stop exactly at the boundary.
+        constraint = lambda fps: sum(fps) <= 24
+        fp = maximize_fingerprints(3, constraint, fp_min=5, fp_max=20)
+        assert sum(fp) <= 24
+
+    def test_larger_levels_lengthened_first(self):
+        """The steepest-ascent order: level L is maximized before smaller
+        levels, and the achieved value caps them (FP_max update)."""
+        constraint = lambda fps: sum(fps) <= 26
+        fp = maximize_fingerprints(3, constraint, fp_min=5, fp_max=20)
+        assert fp[2] >= fp[1] >= fp[0]
+
+    def test_monotone_nonincreasing_toward_smaller_levels(self):
+        d = LidDistribution(5, 6)
+        from repro.chucky.codebook import ChuckyCodebook
+
+        cb = ChuckyCodebook(d, slots=4, bucket_bits=40)
+        assert cb.fp_by_level == sorted(cb.fp_by_level)
+
+
+class TestKraftConstraint:
+    def test_exact_boundary(self):
+        # One frequent vector with count 1; B = 4; no rare combos.
+        # 2^-(B - cfp) <= 1 requires cfp <= B - 0... cfp=4 -> term 1 > budget-rare.
+        sat = _kraft_constraint({(1,): 1}, num_rare=0, bucket_bits=4)
+        assert sat([3])      # 2^-(4-3) = 1/2 <= 1
+        assert sat([4]) is False  # cfp == B is rejected (code needs >= 1 bit)
+
+    def test_rare_mass_counts(self):
+        # 2^B = 16; 8 rare combos consume half the budget.
+        sat = _kraft_constraint({(1,): 1}, num_rare=8, bucket_bits=4)
+        assert sat([3])      # 8/16 + 1/2 = 1 -> feasible (== 1)
+        assert not sat([4])
+
+    def test_multiple_vectors(self):
+        sat = _kraft_constraint({(1, 0): 2, (0, 1): 2}, num_rare=0, bucket_bits=8)
+        # 2*2^-(8-a) + 2*2^-(8-b) <= 1
+        assert sat([5, 5])   # 2/8 + 2/8 = 1/2
+        assert sat([6, 6])   # 2/4 + 2/4 = 1
+        assert not sat([7, 6])
+
+
+class TestFitConstraint:
+    def test_fit(self):
+        sat = _fit_constraint({(2,): 6}, bucket_bits=16)
+        assert sat([5])      # 2*5 + 6 = 16 <= 16
+        assert not sat([6])  # 2*6 + 6 = 18 > 16

@@ -1,0 +1,111 @@
+"""Quotient filter: correctness, deletion, layout invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.counters import MemoryIOCounter
+from repro.common.errors import CapacityError
+from repro.filters.quotient import QuotientFilter
+
+
+KEYS = random.Random(21).sample(range(10**12), 12000)
+INSERTED, NEGATIVES = KEYS[:6000], KEYS[6000:]
+
+
+class TestBasics:
+    def test_no_false_negatives(self):
+        f = QuotientFilter(6000, remainder_bits=9)
+        for k in INSERTED:
+            f.add(k)
+        assert all(f.may_contain(k) for k in INSERTED)
+        f.check_invariants()
+
+    def test_fpr_tracks_alpha_over_2r(self):
+        f = QuotientFilter(6000, remainder_bits=9)
+        for k in INSERTED:
+            f.add(k)
+        measured = sum(f.may_contain(k) for k in NEGATIVES) / len(NEGATIVES)
+        assert measured == pytest.approx(f.expected_fpp(), rel=0.6)
+
+    def test_delete_then_absent(self):
+        f = QuotientFilter(1000, remainder_bits=16)
+        for k in INSERTED[:500]:
+            f.add(k)
+        assert f.remove(INSERTED[0])
+        # 16-bit remainders: a residual collision is very unlikely.
+        assert not f.may_contain(INSERTED[0])
+        assert f.num_entries == 499
+        f.check_invariants()
+
+    def test_remove_missing_returns_false(self):
+        f = QuotientFilter(100)
+        f.add(1)
+        assert not f.remove(2) or f.may_contain(2)
+
+    def test_duplicates_stack(self):
+        f = QuotientFilter(100)
+        f.add(7)
+        f.add(7)
+        assert f.remove(7)
+        assert f.may_contain(7)  # one copy remains
+        assert f.remove(7)
+
+    def test_capacity_error(self):
+        f = QuotientFilter(16)
+        with pytest.raises(CapacityError):
+            for k in range(10_000):
+                f.add(k)
+
+    def test_io_accounting(self):
+        mem = MemoryIOCounter()
+        f = QuotientFilter(100, memory_ios=mem)
+        f.add(1)
+        assert mem.get("filter") >= 1
+        f.may_contain(1)
+        assert mem.get("filter") >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotientFilter(0)
+        with pytest.raises(ValueError):
+            QuotientFilter(10, remainder_bits=1)
+
+    def test_high_load(self):
+        f = QuotientFilter(4000, remainder_bits=10)
+        target = int(f._size * 0.9)
+        for k in INSERTED[:target]:
+            f.add(k)
+        assert all(f.may_contain(k) for k in INSERTED[:target])
+        f.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_random_add_remove_matches_reference(data):
+    """Property: a random add/remove trace keeps the filter consistent
+    with a fingerprint multiset — no false negatives ever, removals
+    exact, and the three-bit layout invariants hold throughout."""
+    f = QuotientFilter(64, remainder_bits=6)
+    reference: dict[int, int] = {}
+    keys = data.draw(
+        st.lists(st.integers(0, 10**9), min_size=1, max_size=25, unique=True)
+    )
+    for _ in range(data.draw(st.integers(5, 60))):
+        key = data.draw(st.sampled_from(keys))
+        if reference.get(key, 0) > 0 and data.draw(st.booleans()):
+            assert f.remove(key)
+            reference[key] -= 1
+        else:
+            try:
+                f.add(key)
+            except CapacityError:
+                continue
+            reference[key] = reference.get(key, 0) + 1
+    f.check_invariants()
+    for key, count in reference.items():
+        if count > 0:
+            assert f.may_contain(key)
+    assert f.num_entries == sum(reference.values())

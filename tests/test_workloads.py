@@ -1,0 +1,162 @@
+"""Workload generators and bulk loaders."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.chucky.policy import ChuckyPolicy
+from repro.engine.kvstore import KVStore
+from repro.lsm.config import lazy_leveling, leveling
+from repro.workloads.generators import (
+    UniformGenerator,
+    ZipfianGenerator,
+    ycsb_b,
+    zipf_over,
+    zipf_pmf_checksum,
+)
+from repro.workloads.loaders import (
+    fill_tree_to_levels,
+    negative_keys,
+    populate_store,
+    sublevel_sample_keys,
+)
+
+
+class TestUniform:
+    def test_draws_from_population(self):
+        gen = UniformGenerator([1, 2, 3], seed=0)
+        assert set(gen.sample(100)) <= {1, 2, 3}
+
+    def test_roughly_uniform(self):
+        gen = UniformGenerator(list(range(10)), seed=0)
+        counts = Counter(gen.sample(10000))
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGenerator([])
+
+
+class TestZipfian:
+    def test_pmf_sums_to_one(self):
+        assert zipf_pmf_checksum(1000) == pytest.approx(1.0)
+
+    def test_rank_zero_is_hottest(self):
+        gen = ZipfianGenerator(1000, seed=0)
+        counts = Counter(gen.next_rank() for _ in range(20000))
+        assert counts[0] == max(counts.values())
+
+    def test_matches_theoretical_head_probability(self):
+        gen = ZipfianGenerator(500, theta=0.99, seed=1)
+        counts = Counter(gen.next_rank() for _ in range(40000))
+        measured = counts[0] / 40000
+        assert measured == pytest.approx(gen.probability_of_rank(0), rel=0.15)
+
+    def test_skew_increases_with_theta(self):
+        lo = ZipfianGenerator(1000, theta=0.5, seed=0)
+        hi = ZipfianGenerator(1000, theta=0.99, seed=0)
+        top_lo = sum(lo.probability_of_rank(r) for r in range(10))
+        top_hi = sum(hi.probability_of_rank(r) for r in range(10))
+        assert top_hi > top_lo
+
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(50, seed=3)
+        assert all(0 <= gen.next_rank() < 50 for _ in range(5000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+    def test_zipf_over_decouples_key_order_from_heat(self):
+        keys = list(range(1000, 2000))
+        stream = zipf_over(keys, seed=4)
+        sample = [next(stream) for _ in range(5000)]
+        hottest = Counter(sample).most_common(1)[0][0]
+        assert hottest in keys
+
+
+class TestYcsbB:
+    def test_mix_ratio(self):
+        ops = list(ycsb_b(list(range(100)), 20000, seed=0))
+        reads = sum(1 for op, _ in ops if op == "read")
+        assert reads / len(ops) == pytest.approx(0.95, abs=0.01)
+
+    def test_ops_are_read_or_update(self):
+        ops = list(ycsb_b(list(range(10)), 100))
+        assert {op for op, _ in ops} <= {"read", "update"}
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            list(ycsb_b([1], 10, read_fraction=2.0))
+
+
+class TestLoaders:
+    def make_store(self, levels=3):
+        cfg = lazy_leveling(
+            3, buffer_entries=8, block_entries=4, initial_levels=levels
+        )
+        return KVStore(cfg, filter_policy=ChuckyPolicy(bits_per_entry=10))
+
+    def test_fills_every_sublevel(self):
+        kv = self.make_store()
+        placement = fill_tree_to_levels(kv)
+        live = {s for s, _ in kv.tree.occupied_runs()}
+        assert set(placement) == live
+        assert len(live) == kv.tree.num_sublevels
+
+    def test_sublevels_at_capacity(self):
+        kv = self.make_store()
+        fill_tree_to_levels(kv)
+        for sublevel, run in kv.tree.occupied_runs():
+            level = min(
+                (sublevel - 1) // kv.config.runs_per_level + 1,
+                kv.tree.num_levels,
+            )
+            assert run.num_entries == kv.tree.sublevel_capacity(level)
+
+    def test_placement_is_ground_truth(self):
+        kv = self.make_store()
+        placement = fill_tree_to_levels(kv)
+        for sublevel, keys in placement.items():
+            for key in keys[:5]:
+                assert kv.tree.get_from_sublevel(sublevel, key) is not None
+
+    def test_filter_sees_bulk_load(self):
+        kv = self.make_store()
+        placement = fill_tree_to_levels(kv)
+        for sublevel, keys in placement.items():
+            for key in keys[:5]:
+                assert sublevel in kv.policy.filter.query(key)
+
+    def test_only_largest(self):
+        kv = self.make_store()
+        placement = fill_tree_to_levels(kv, only_largest=True)
+        last = kv.config.total_sublevels(kv.tree.num_levels)
+        assert set(placement) == {last}
+
+    def test_level_mismatch_rejected(self):
+        kv = self.make_store(levels=2)
+        with pytest.raises(ValueError):
+            fill_tree_to_levels(kv, num_levels=5)
+
+    def test_negative_keys_absent(self):
+        kv = self.make_store()
+        placement = fill_tree_to_levels(kv)
+        for key in negative_keys(placement, 50):
+            assert kv.get(key) is None
+
+    def test_sublevel_sample(self):
+        kv = self.make_store()
+        placement = fill_tree_to_levels(kv)
+        sub = next(iter(placement))
+        sample = sublevel_sample_keys(placement, sub, 3)
+        assert len(sample) == 3
+        assert set(sample) <= set(placement[sub])
+
+    def test_populate_store(self):
+        kv = KVStore(leveling(3, buffer_entries=8, block_entries=4))
+        populate_store(kv, list(range(40)))
+        assert kv.get(17) == "value-17"
