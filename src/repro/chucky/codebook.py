@@ -243,3 +243,20 @@ class ChuckyCodebook:
             for lid, f in zip(self.dist.lids, self.dist.probabilities())
         )
         return 2.0 * self.slots * per_slot
+
+    def plan_stats(self) -> dict[str, float]:
+        """The coding plan's headline numbers as one flat mapping — what
+        the observability layer publishes as gauges after every (re)build
+        so a scrape can watch the plan drift as the tree grows."""
+        return {
+            "bucket_bits": float(self.bucket_bits),
+            "slots": float(self.slots),
+            "nov": self.nov,
+            "combinations": float(len(self.probabilities)),
+            "frequent_combinations": float(len(self.frequent)),
+            "frequent_mass": self.frequent_mass,
+            "avg_fp_bits": self.average_fp_bits(),
+            "code_bits_per_entry": self.average_code_bits_per_entry(),
+            "overflow_probability": self.overflow_probability(),
+            "expected_fpr": self.expected_fpr(),
+        }

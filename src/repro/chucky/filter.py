@@ -39,6 +39,11 @@ from repro.common.bitio import BitReader, BitWriter
 from repro.common.counters import MemoryIOCounter
 from repro.common.errors import FilterError
 from repro.common.hashing import FP_MIN, fingerprint_bits, key_digest, splitmix64
+from repro.obs.metrics import (
+    EVICTION_WALK_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
 from repro.chucky.bucket import BucketCodec, Slot
 from repro.chucky.codebook import ChuckyCodebook
 from repro.chucky.tables import CodecTables
@@ -91,6 +96,7 @@ class CuckooLidFilterBase(ABC):
         memory_ios: MemoryIOCounter | None = None,
         seed: int = 0,
         fp_min: int = FP_MIN,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if num_buckets < 2:
             raise ValueError(f"num_buckets must be >= 2, got {num_buckets}")
@@ -108,6 +114,15 @@ class CuckooLidFilterBase(ABC):
         #: LID updates/removals that found no matching slot (should stay 0
         #: in correct operation; exposed for tests and sanity checks).
         self.maintenance_misses = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._walk_hist = registry.histogram(
+            "chucky_eviction_walk_length", EVICTION_WALK_BUCKETS,
+            "evictions performed per filter insert (0 = direct placement)",
+        )
+        self._m_aht_spills = registry.counter(
+            "chucky_aht_spills_total",
+            "inserts whose eviction walk failed and fell back to the AHT",
+        )
 
     # -- representation hooks (no I/O accounting inside) -----------------
 
@@ -175,19 +190,21 @@ class CuckooLidFilterBase(ABC):
                 slots[free] = entry
                 self._write_bucket(bucket, slots)
                 self.num_entries += 1
+                self._walk_hist.observe(0)
                 return
         self._insert_with_eviction(entry, self._rng.choice((b1, b2)))
 
     def _insert_with_eviction(self, entry: Slot, bucket: int) -> None:
         """Random-walk eviction; falls back to the AHT (paper's entry-
         overflow handling, section 4.5) when the walk fails."""
-        for _ in range(_MAX_EVICTIONS):
+        for step in range(1, _MAX_EVICTIONS + 1):
             slots = self._load(bucket)
             free = self._free_index(slots)
             if free is not None:
                 slots[free] = entry
                 self._write_bucket(bucket, slots)
                 self.num_entries += 1
+                self._walk_hist.observe(step - 1)
                 return
             victim_index = self._rng.randrange(self.slots)
             victim = slots[victim_index]
@@ -200,6 +217,8 @@ class CuckooLidFilterBase(ABC):
         self.memory_ios.add("filter_aht", 1)
         self.aht.setdefault(pair, []).append(entry)
         self.num_entries += 1
+        self._walk_hist.observe(_MAX_EVICTIONS)
+        self._m_aht_spills.inc()
 
     def query(self, key: int) -> list[int]:
         """All sub-levels whose stored fingerprint matches ``key``, in
@@ -353,6 +372,7 @@ class ChuckyFilter(CuckooLidFilterBase):
         memory_ios: MemoryIOCounter | None = None,
         seed: int = 0,
         codebook: ChuckyCodebook | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if codebook is None:
             bucket_bits = round(bits_per_entry * slots)
@@ -365,6 +385,7 @@ class ChuckyFilter(CuckooLidFilterBase):
             empty_lid=codebook.empty_lid,
             memory_ios=memory_ios,
             seed=seed,
+            metrics=metrics,
         )
         self.dist = dist
         self.bits_per_entry = bits_per_entry
@@ -452,6 +473,7 @@ class ChuckyFilter(CuckooLidFilterBase):
         over_provision: float = 0.05,
         memory_ios: MemoryIOCounter | None = None,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> "ChuckyFilter":
         """Rebuild a filter from :meth:`persist` output.
 
@@ -484,6 +506,7 @@ class ChuckyFilter(CuckooLidFilterBase):
             empty_lid=codebook.empty_lid,
             memory_ios=memory_ios,
             seed=seed,
+            metrics=metrics,
         )
         filt.dist = dist
         filt.bits_per_entry = bits_per_entry
@@ -525,6 +548,7 @@ class UncompressedLidFilter(CuckooLidFilterBase):
         over_provision: float = 0.05,
         memory_ios: MemoryIOCounter | None = None,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.dist = dist
         self.lid_bits = max(1, math.ceil(math.log2(dist.num_sublevels)))
@@ -535,6 +559,7 @@ class UncompressedLidFilter(CuckooLidFilterBase):
             empty_lid=dist.most_probable_lid(),
             memory_ios=memory_ios,
             seed=seed,
+            metrics=metrics,
         )
         self._buckets: list[list[Slot]] = [
             [(self.empty_lid, 0)] * slots for _ in range(self.num_buckets)

@@ -24,6 +24,7 @@ import math
 from repro.coding.distributions import LidDistribution
 from repro.common.counters import MemoryIOCounter
 from repro.common.hashing import key_digest
+from repro.obs.metrics import MetricsRegistry
 from repro.chucky.codebook import ChuckyCodebook
 from repro.chucky.filter import ChuckyFilter
 
@@ -50,6 +51,7 @@ class PartitionedChuckyFilter:
         over_provision: float = 0.05,
         memory_ios: MemoryIOCounter | None = None,
         seed: int = 0,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -78,6 +80,7 @@ class PartitionedChuckyFilter:
                 memory_ios=self.memory_ios,
                 seed=seed + i,
                 codebook=self.codebook,
+                metrics=metrics,
             )
             for i in range(num_partitions)
         ]

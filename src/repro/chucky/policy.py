@@ -92,6 +92,7 @@ class ChuckyPolicy(FilterPolicy):
     def _build_filter(self) -> None:
         dist = self._distribution()
         capacity = self._tree_capacity()
+        metrics = self.obs.registry
         if self.partition_capacity is not None:
             self.filter = PartitionedChuckyFilter(
                 capacity=capacity,
@@ -103,6 +104,7 @@ class ChuckyPolicy(FilterPolicy):
                 over_provision=self.over_provision,
                 memory_ios=self.counters.memory,
                 seed=self.seed,
+                metrics=metrics,
             )
         elif self.compressed:
             self.filter = ChuckyFilter(
@@ -114,6 +116,7 @@ class ChuckyPolicy(FilterPolicy):
                 over_provision=self.over_provision,
                 memory_ios=self.counters.memory,
                 seed=self.seed,
+                metrics=metrics,
             )
         else:
             self.filter = UncompressedLidFilter(
@@ -124,7 +127,22 @@ class ChuckyPolicy(FilterPolicy):
                 over_provision=self.over_provision,
                 memory_ios=self.counters.memory,
                 seed=self.seed,
+                metrics=metrics,
             )
+        self._publish_codebook_stats()
+
+    def _publish_codebook_stats(self) -> None:
+        """Publish the active coding plan as gauges (compressed only)."""
+        if not self.obs.enabled:
+            return
+        codebook = getattr(self.filter, "codebook", None)
+        if codebook is None:
+            return
+        registry = self.obs.registry
+        for name, value in codebook.plan_stats().items():
+            registry.gauge(
+                f"chucky_codebook_{name}", "active Chucky coding plan"
+            ).set(value)
 
     # ------------------------------------------------------------------
     # Opportunistic maintenance
@@ -161,6 +179,10 @@ class ChuckyPolicy(FilterPolicy):
             return
         self._pending_rebuild = False
         self.rebuilds += 1
+        self.obs.registry.counter(
+            "chucky_rebuilds_total",
+            "codebook/filter rebuilds piggybacked on major compactions",
+        ).inc()
         self.rebuild_from_tree(count_storage=False)
 
     def rebuild_from_tree(self, count_storage: bool = True) -> None:
@@ -170,16 +192,21 @@ class ChuckyPolicy(FilterPolicy):
         major compaction (the compaction already reads the data —
         section 4.5); recovery-style rebuilds leave counting on.
         """
-        self._build_filter()
-        assert self.filter is not None
-        tree = self.tree
-        if count_storage:
-            for entry, sublevel in tree.iter_entries_with_sublevels():
-                self.filter.insert(entry.key, sublevel)
-            return
-        with tree.storage.counting_suspended():
-            for entry, sublevel in tree.iter_entries_with_sublevels():
-                self.filter.insert(entry.key, sublevel)
+        with self.obs.tracer.span(
+            "codebook_rebuild",
+            levels=self.tree.num_levels,
+            counted_storage=count_storage,
+        ):
+            self._build_filter()
+            assert self.filter is not None
+            tree = self.tree
+            if count_storage:
+                for entry, sublevel in tree.iter_entries_with_sublevels():
+                    self.filter.insert(entry.key, sublevel)
+                return
+            with tree.storage.counting_suspended():
+                for entry, sublevel in tree.iter_entries_with_sublevels():
+                    self.filter.insert(entry.key, sublevel)
 
     def recover_filter(self, blob: bytes) -> None:
         """Restore the filter from persisted fingerprints (section 4.5:
@@ -198,7 +225,9 @@ class ChuckyPolicy(FilterPolicy):
             over_provision=self.over_provision,
             memory_ios=self.counters.memory,
             seed=self.seed,
+            metrics=self.obs.registry,
         )
+        self._publish_codebook_stats()
 
     # ------------------------------------------------------------------
     # Queries

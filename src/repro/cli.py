@@ -1,16 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands for poking at the system without writing code:
+Six commands for poking at the system without writing code:
 
 * ``info``      — package, geometry and codebook overview
 * ``fpr``       — model + measured FPR comparison for one geometry
 * ``codebook``  — the full coding plan for one geometry
 * ``workload``  — run a mixed workload and print latency + metrics
+  (``--metrics-out m.json`` additionally writes the observability
+  registry as a JSON artifact)
+* ``stats``     — run a workload and render the metrics registry in
+  Prometheus text exposition format (or JSON with ``--format json``)
+* ``trace``     — run a workload and dump the last N per-operation
+  trace spans (modelled-time durations, nesting, attributes)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 
@@ -34,6 +41,12 @@ from repro.common.errors import CodebookError
 from repro.engine.kvstore import KVStore
 from repro.filters.policy import BloomFilterPolicy, NoFilterPolicy, XorFilterPolicy
 from repro.lsm.config import LSMConfig
+from repro.obs import (
+    Observability,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+)
 
 
 def _add_geometry(parser: argparse.ArgumentParser) -> None:
@@ -114,7 +127,13 @@ _POLICIES = {
 }
 
 
-def cmd_workload(args) -> int:
+def _drive_workload(
+    args, observability: Observability | None
+) -> tuple[KVStore, int, "object"]:
+    """Build a store and run the standard mixed workload.
+
+    Returns (store, hits, window snapshot taken before the reads).
+    """
     config = LSMConfig(
         size_ratio=args.size_ratio,
         runs_per_level=args.runs_per_level,
@@ -126,17 +145,24 @@ def cmd_workload(args) -> int:
         config,
         filter_policy=_POLICIES[args.policy](args.bits),
         cache_blocks=args.cache_blocks,
+        observability=observability,
     )
     rng = random.Random(args.seed)
     universe = max(16, args.ops // 2)
-    print(f"running {args.ops} writes + {args.reads} reads "
-          f"({args.policy}, T={args.size_ratio}) ...")
     for i in range(args.ops):
         store.put(rng.randrange(universe), f"v{i}")
     snap = store.snapshot()
     hits = 0
     for _ in range(args.reads):
         hits += store.get(rng.randrange(universe)) is not None
+    return store, hits, snap
+
+
+def cmd_workload(args) -> int:
+    obs = Observability() if args.metrics_out else None
+    print(f"running {args.ops} writes + {args.reads} reads "
+          f"({args.policy}, T={args.size_ratio}) ...")
+    store, hits, snap = _drive_workload(args, obs)
     lat = store.latency_since(snap, operations=args.reads)
     print(f"reads: {hits}/{args.reads} hits, "
           f"{lat.total_ns:.0f} ns/read modelled "
@@ -145,6 +171,37 @@ def cmd_workload(args) -> int:
     metrics = collect_metrics(store)
     for name, value in metrics.as_dict().items():
         print(f"  {name:24s}: {value:g}")
+    if obs is not None:
+        try:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(render_json(obs.registry))
+        except OSError as exc:
+            print(f"cannot write {args.metrics_out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"metrics artifact written to {args.metrics_out}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    obs = Observability()
+    store, _, _ = _drive_workload(args, obs)
+    del store
+    if args.format == "json":
+        print(render_json(obs.registry))
+    else:
+        sys.stdout.write(render_prometheus(obs.registry))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    obs = Observability(trace_ring=max(args.last, 1))
+    _drive_workload(args, obs)
+    spans = obs.tracer.recent(args.last)
+    if not spans:
+        print("no spans recorded", file=sys.stderr)
+        return 1
+    for span in spans:
+        print(json.dumps(span.to_dict(), sort_keys=True))
     return 0
 
 
@@ -167,15 +224,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_geometry(p_cb)
     p_cb.set_defaults(func=cmd_codebook)
 
+    def _add_workload_args(p: argparse.ArgumentParser) -> None:
+        _add_geometry(p)
+        p.add_argument("--policy", choices=sorted(_POLICIES), default="chucky")
+        p.add_argument("--ops", type=int, default=5000)
+        p.add_argument("--reads", type=int, default=2000)
+        p.add_argument("--buffer", type=int, default=64)
+        p.add_argument("--cache-blocks", type=int, default=256)
+        p.add_argument("--seed", type=int, default=0)
+
     p_wl = sub.add_parser("workload", help="run a workload end to end")
-    _add_geometry(p_wl)
-    p_wl.add_argument("--policy", choices=sorted(_POLICIES), default="chucky")
-    p_wl.add_argument("--ops", type=int, default=5000)
-    p_wl.add_argument("--reads", type=int, default=2000)
-    p_wl.add_argument("--buffer", type=int, default=64)
-    p_wl.add_argument("--cache-blocks", type=int, default=256)
-    p_wl.add_argument("--seed", type=int, default=0)
+    _add_workload_args(p_wl)
+    p_wl.add_argument("--metrics-out", metavar="FILE", default=None,
+                      help="write the observability registry as a JSON "
+                           "artifact (enables instrumentation)")
     p_wl.set_defaults(func=cmd_workload)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a workload, render metrics (Prometheus/JSON)"
+    )
+    _add_workload_args(p_stats)
+    p_stats.add_argument("--format", choices=("prom", "json"), default="prom")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a workload, dump the last N operation spans"
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument("--last", type=int, default=10,
+                         help="number of most recent spans to dump")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -34,6 +34,15 @@ class CostModel:
     def storage_cost(self, reads: int, writes: int = 0) -> float:
         return reads * self.storage_read_ns + writes * self.storage_write_ns
 
+    def total_cost(self, memory_ios: int, reads: int, writes: int = 0) -> float:
+        """Combined price of a mixed I/O batch, in nanoseconds.
+
+        Applied to cumulative counter totals this is the observability
+        layer's modelled clock: the difference of two readings prices
+        exactly the I/Os counted in between.
+        """
+        return self.memory_cost(memory_ios) + self.storage_cost(reads, writes)
+
 
 @dataclass
 class LatencyBreakdown:

@@ -57,9 +57,13 @@ class StorageIOCounter:
         self.writes = 0
 
     def read(self, blocks: int = 1) -> None:
+        if blocks < 0:
+            raise ValueError(f"blocks must be >= 0, got {blocks}")
         self.reads += blocks
 
     def write(self, blocks: int = 1) -> None:
+        if blocks < 0:
+            raise ValueError(f"blocks must be >= 0, got {blocks}")
         self.writes += blocks
 
     @property

@@ -29,6 +29,8 @@ from repro.lsm.memtable import Memtable
 from repro.lsm.storage import StorageDevice
 from repro.lsm.tree import LSMTree, RunManifest
 from repro.lsm.wal import WriteAheadLog
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import LATENCY_NS_BUCKETS, SUBLEVELS_BUCKETS
 
 #: Memory-I/O categories that make up the 'filter' latency component.
 _FILTER_CATEGORIES = ("filter", "filter_dt", "filter_rt", "filter_aht", "filter_ovf")
@@ -64,6 +66,13 @@ class IOSnapshot:
     queries: int
     updates: int
     false_positives: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 class KVStore:
@@ -76,10 +85,13 @@ class KVStore:
         cache_blocks: int = 0,
         cost_model: CostModel | None = None,
         durable: bool = False,
+        observability: Observability | None = None,
         _tree: LSMTree | None = None,
     ) -> None:
         self.config = config if config is not None else LSMConfig()
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.obs = observability if observability is not None else NULL_OBS
+        self._obs_on = self.obs.enabled
         if _tree is not None:
             self.tree = _tree
             self.counters = _tree.counters
@@ -90,8 +102,13 @@ class KVStore:
         self.policy = (
             filter_policy if filter_policy is not None else NoFilterPolicy()
         )
-        # Share one set of counters across all components.
+        # Share one set of counters (and the observability bundle)
+        # across all components.
         self.policy.counters = self.counters
+        self.policy.obs = self.obs
+        if self._obs_on:
+            self.obs.bind_clock(self._modelled_ns)
+            self.tree.attach_observability(self.obs)
         self.policy.attach(self.tree)
         self.memtable = Memtable(self.config.buffer_entries, self.counters.memory)
         self.wal = WriteAheadLog() if durable else None
@@ -99,6 +116,81 @@ class KVStore:
         self.queries = 0
         self.updates = 0
         self.false_positives = 0
+        if self._obs_on:
+            self._register_instruments()
+
+    # ------------------------------------------------------------------
+    # Observability wiring
+    # ------------------------------------------------------------------
+
+    def _modelled_ns(self) -> float:
+        """Total modelled time so far — the tracer's clock: the cost-
+        model price of every I/O counted since the store was created."""
+        counters = self.counters
+        return self.cost_model.total_cost(
+            counters.memory.total, counters.storage.reads, counters.storage.writes
+        )
+
+    def _register_instruments(self) -> None:
+        registry = self.obs.registry
+        self._m_reads = registry.counter("kv_reads_total", "point reads served")
+        self._m_writes = registry.counter(
+            "kv_writes_total", "puts and deletes buffered"
+        )
+        self._m_false_positives = registry.counter(
+            "kv_read_false_positives_total",
+            "candidate sub-levels probed in vain (the paper's FPR numerator)",
+        )
+        self._m_read_latency = registry.histogram(
+            "kv_read_latency_ns", LATENCY_NS_BUCKETS,
+            "modelled latency of one point read",
+        )
+        self._m_write_latency = registry.histogram(
+            "kv_write_latency_ns", LATENCY_NS_BUCKETS,
+            "modelled latency of one write (flush cascades included)",
+        )
+        self._m_sublevels_probed = registry.histogram(
+            "kv_read_sublevels_probed", SUBLEVELS_BUCKETS,
+            "runs actually fetched per point read",
+        )
+        registry.add_collector(self._collect_gauges)
+
+    def _collect_gauges(self) -> None:
+        """Sampled gauges, refreshed at export time by the registry."""
+        registry = self.obs.registry
+        registry.gauge("store_entries", "entries in tree + memtable").set(
+            self.num_entries
+        )
+        registry.gauge("store_levels", "LSM-tree levels").set(self.tree.num_levels)
+        registry.gauge("store_runs", "occupied runs").set(
+            len(self.tree.occupied_runs())
+        )
+        stored = self.tree.num_entries
+        size_bits = self.policy.size_bits
+        registry.gauge("filter_size_bits", "total filter footprint").set(size_bits)
+        registry.gauge(
+            "filter_bits_per_entry", "filter bits per stored entry"
+        ).set(size_bits / stored if stored else 0.0)
+        cache = self.tree.cache
+        registry.gauge("cache_hits", "block-cache hits").set(
+            cache.hits if cache else 0
+        )
+        registry.gauge("cache_misses", "block-cache misses").set(
+            cache.misses if cache else 0
+        )
+        registry.gauge(
+            "cache_hit_ratio", "fraction of block lookups served from cache"
+        ).set(cache.hit_ratio if cache else 0.0)
+        if self.wal is not None:
+            registry.gauge("wal_appended_records", "records ever appended").set(
+                self.wal.appended
+            )
+            registry.gauge("wal_appended_bytes", "bytes ever appended").set(
+                self.wal.appended_bytes
+            )
+            registry.gauge("wal_size_bytes", "live (untruncated) bytes").set(
+                self.wal.size_bytes
+            )
 
     # ------------------------------------------------------------------
     # Writes
@@ -106,6 +198,16 @@ class KVStore:
 
     def put(self, key: int, value: Any) -> None:
         """Insert or update a key."""
+        if not self._obs_on:
+            self._put_impl(key, value)
+            return
+        start = self._modelled_ns()
+        with self.obs.tracer.span("write", key=key):
+            self._put_impl(key, value)
+        self._m_writes.inc()
+        self._m_write_latency.observe(self._modelled_ns() - start)
+
+    def _put_impl(self, key: int, value: Any) -> None:
         if self.memtable.is_full:
             self.flush()
         self._seqno += 1
@@ -116,6 +218,16 @@ class KVStore:
 
     def delete(self, key: int) -> None:
         """Delete a key (out-of-place: buffers a tombstone)."""
+        if not self._obs_on:
+            self._delete_impl(key)
+            return
+        start = self._modelled_ns()
+        with self.obs.tracer.span("delete", key=key):
+            self._delete_impl(key)
+        self._m_writes.inc()
+        self._m_write_latency.observe(self._modelled_ns() - start)
+
+    def _delete_impl(self, key: int) -> None:
         if self.memtable.is_full:
             self.flush()
         self._seqno += 1
@@ -139,13 +251,14 @@ class KVStore:
         """Force the memtable into the tree (normally automatic)."""
         if len(self.memtable) == 0:
             return
-        entries = self.memtable.sorted_entries()
-        self.memtable.clear()
-        self.tree.flush(entries)
-        self.policy.after_write()
-        if self.wal is not None:
-            # The buffered writes are now durable in storage runs.
-            self.wal.truncate()
+        with self.obs.tracer.span("flush", entries=len(self.memtable)):
+            entries = self.memtable.sorted_entries()
+            self.memtable.clear()
+            self.tree.flush(entries)
+            self.policy.after_write()
+            if self.wal is not None:
+                # The buffered writes are now durable in storage runs.
+                self.wal.truncate()
 
     # ------------------------------------------------------------------
     # Crash & recovery (paper section 4.5, Persistence)
@@ -180,6 +293,7 @@ class KVStore:
         filter_policy: FilterPolicy | None = None,
         cache_blocks: int = 0,
         cost_model: CostModel | None = None,
+        observability: Observability | None = None,
     ) -> "KVStore":
         """Rebuild a store from a :class:`CrashState`.
 
@@ -200,6 +314,7 @@ class KVStore:
             filter_policy=policy,
             cost_model=cost_model,
             durable=True,
+            observability=observability,
             _tree=tree,
         )
         store._recover_filter(state)
@@ -259,6 +374,24 @@ class KVStore:
         a wasted fence search + storage I/O, the quantity Figures 11 and
         14 B-D measure.
         """
+        if not self._obs_on:
+            return self._read_impl(key)
+        start = self._modelled_ns()
+        with self.obs.tracer.span("read", key=key) as span:
+            result = self._read_impl(key)
+            span.set(
+                found=result.found,
+                false_positives=result.false_positives,
+                sublevels_probed=result.sublevels_probed,
+            )
+        self._m_reads.inc()
+        self._m_read_latency.observe(self._modelled_ns() - start)
+        self._m_sublevels_probed.observe(result.sublevels_probed)
+        if result.false_positives:
+            self._m_false_positives.inc(result.false_positives)
+        return result
+
+    def _read_impl(self, key: int) -> ReadResult:
         self.queries += 1
         entry = self.memtable.get(key)
         if entry is not None:
@@ -310,6 +443,7 @@ class KVStore:
 
     def snapshot(self) -> IOSnapshot:
         """Capture I/O counters to measure a window of operations."""
+        cache = self.tree.cache
         return IOSnapshot(
             memory=self.counters.memory.snapshot(),
             storage_reads=self.counters.storage.reads,
@@ -317,6 +451,8 @@ class KVStore:
             queries=self.queries,
             updates=self.updates,
             false_positives=self.false_positives,
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_misses=cache.misses if cache is not None else 0,
         )
 
     def latency_since(

@@ -19,6 +19,11 @@ import random
 from repro.common.counters import MemoryIOCounter
 from repro.common.errors import CapacityError
 from repro.common.hashing import alt_offset, fingerprint_bits, key_digest
+from repro.obs.metrics import (
+    EVICTION_WALK_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
 
 _BUCKET_SEED = 3000
 _MAX_EVICTIONS = 500
@@ -34,6 +39,7 @@ class CuckooFilter:
         slots_per_bucket: int = 4,
         memory_ios: MemoryIOCounter | None = None,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -57,6 +63,11 @@ class CuckooFilter:
         )
         self._rng = random.Random(seed)
         self.num_entries = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._walk_hist = registry.histogram(
+            "cuckoo_eviction_walk_length", EVICTION_WALK_BUCKETS,
+            "evictions performed per insert (0 = direct placement)",
+        )
 
     @property
     def num_buckets(self) -> int:
@@ -93,10 +104,11 @@ class CuckooFilter:
             if len(self._buckets[bucket]) < self._slots:
                 self._buckets[bucket].append(fp)
                 self.num_entries += 1
+                self._walk_hist.observe(0)
                 return
         # Both full: evict along a random walk.
         bucket = self._rng.choice((b1, b2))
-        for _ in range(_MAX_EVICTIONS):
+        for step in range(1, _MAX_EVICTIONS + 1):
             victim_slot = self._rng.randrange(self._slots)
             victim_fp = self._buckets[bucket][victim_slot]
             self._buckets[bucket][victim_slot] = fp
@@ -106,7 +118,9 @@ class CuckooFilter:
             if len(self._buckets[bucket]) < self._slots:
                 self._buckets[bucket].append(fp)
                 self.num_entries += 1
+                self._walk_hist.observe(step)
                 return
+        self._walk_hist.observe(_MAX_EVICTIONS)
         raise CapacityError(
             f"cuckoo insertion failed at load factor {self.load_factor:.3f}"
         )

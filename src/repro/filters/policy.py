@@ -23,6 +23,7 @@ from repro.filters.blocked_bloom import BlockedBloomFilter
 from repro.filters.bloom import BloomFilter
 from repro.lsm.run import Run
 from repro.lsm.tree import FlushEvent, LSMTree, MergeEvent, TreeEvent
+from repro.obs import NULL_OBS, Observability
 
 
 class FilterPolicy(ABC):
@@ -33,6 +34,10 @@ class FilterPolicy(ABC):
 
     def __init__(self, counters: IOCounters | None = None) -> None:
         self.counters = counters if counters is not None else IOCounters()
+        #: Observability bundle; the owning KVStore swaps in its own
+        #: (like ``counters``) before :meth:`attach` so filters built
+        #: during attachment register their instruments.
+        self.obs: Observability = NULL_OBS
         self._tree: LSMTree | None = None
 
     @property

@@ -31,6 +31,12 @@ class BlockCache:
     def capacity(self) -> int:
         return self._capacity
 
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def get(self, run_id: int, index: int) -> Block | None:
         key = (run_id, index)
         block = self._blocks.get(key)

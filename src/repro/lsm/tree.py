@@ -31,6 +31,8 @@ from typing import Callable, Iterator
 
 from repro.common.counters import IOCounters
 from repro.lsm.block_cache import BlockCache
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import MERGE_INPUT_BUCKETS
 from repro.lsm.config import LSMConfig
 from repro.lsm.entry import Entry
 from repro.lsm.run import Run
@@ -124,6 +126,36 @@ class LSMTree:
         self.listeners: list[Callable[[TreeEvent], None]] = []
         #: Listeners called with the new level count when the tree grows.
         self.grow_listeners: list[Callable[[int], None]] = []
+        self.attach_observability(NULL_OBS)
+
+    def attach_observability(self, obs: Observability) -> None:
+        """Wire the tree's compaction telemetry into a registry.
+
+        Instruments are cached here so the event path pays one method
+        call per flush/merge — a no-op call when ``obs`` is disabled.
+        """
+        self.obs = obs
+        registry = obs.registry
+        self._m_flushes = registry.counter(
+            "lsm_flushes_total", "buffer flushes placed as Level-1 runs"
+        )
+        self._m_merges = registry.counter(
+            "lsm_merges_total", "merge/compaction events"
+        )
+        self._m_merge_inputs = registry.histogram(
+            "lsm_merge_inputs", MERGE_INPUT_BUCKETS,
+            "input sub-levels participating in one merge",
+        )
+        self._m_merge_survivors = registry.counter(
+            "lsm_merge_survivor_entries_total", "entries surviving merges"
+        )
+        self._m_merge_drops = registry.counter(
+            "lsm_merge_dropped_entries_total",
+            "obsolete versions and purged tombstones dropped by merges",
+        )
+        self._m_growths = registry.counter(
+            "lsm_tree_growths_total", "levels added (major compactions)"
+        )
 
     def _make_level(self, level: int, num_levels: int) -> _Level:
         a_i = self.config.sublevels_at(level, num_levels)
@@ -183,10 +215,12 @@ class LSMTree:
         if not entries:
             return []
         events: list[TreeEvent] = []
-        self._place(
-            1, entries, origin=None, pending_drops=[], events=events,
-            input_sublevels=(),
-        )
+        with self.obs.tracer.span("tree_flush", entries=len(entries)) as span:
+            self._place(
+                1, entries, origin=None, pending_drops=[], events=events,
+                input_sublevels=(),
+            )
+            span.set(events=len(events))
         return events
 
     def _place(
@@ -386,6 +420,12 @@ class LSMTree:
 
     def _spill_level(self, level_number: int, events: list[TreeEvent]) -> None:
         """Merge every run at ``level_number`` into the next level."""
+        with self.obs.tracer.span("merge_spill", level=level_number):
+            self._spill_level_inner(level_number, events)
+
+    def _spill_level_inner(
+        self, level_number: int, events: list[TreeEvent]
+    ) -> None:
         level = self._levels[level_number - 1]
         occupied = level.occupied()
         assert occupied, "only full levels spill"
@@ -425,11 +465,19 @@ class LSMTree:
         new_count = self.num_levels + 1
         self._levels[-1] = self._make_level(old_last.number, new_count)
         self._levels.append(self._make_level(new_count, new_count))
+        self._m_growths.inc()
         for listener in self.grow_listeners:
             listener(new_count)
 
     def _notify(self, event: TreeEvent, events: list[TreeEvent]) -> None:
         events.append(event)
+        if isinstance(event, FlushEvent):
+            self._m_flushes.inc()
+        else:
+            self._m_merges.inc()
+            self._m_merge_inputs.observe(len(event.input_sublevels))
+            self._m_merge_survivors.inc(len(event.survivors))
+            self._m_merge_drops.inc(len(event.drops))
         for listener in self.listeners:
             listener(event)
 

@@ -49,6 +49,10 @@ class WriteAheadLog:
 
     data: bytearray = field(default_factory=bytearray)
     appended: int = 0
+    #: Cumulative bytes ever appended — unlike ``size_bytes`` this
+    #: survives truncation, so it is the monotone series the metrics
+    #: registry exports as WAL write volume.
+    appended_bytes: int = 0
 
     def append_put(self, key: int, value: Any, seqno: int) -> None:
         self._append(_PUT, key, _encode_value(value), seqno)
@@ -73,6 +77,7 @@ class WriteAheadLog:
         )
         self.data.extend(record)
         self.appended += 1
+        self.appended_bytes += len(record)
 
     def truncate(self) -> None:
         """Discard the log (after a successful flush made it redundant)."""

@@ -1,0 +1,270 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The registry is the single collection point for everything the store
+measures at runtime — modelled per-operation latencies, false
+positives, eviction-walk lengths, compaction events, cache hit rates.
+Two design rules keep it honest with the repo's counted-I/O
+methodology:
+
+* **Never touches the I/O counters.** Metrics are observations *about*
+  counted work, priced by the :class:`~repro.common.cost.CostModel`;
+  recording them must not change the counts the benchmarks reproduce.
+* **Zero-cost when disabled.** Components hold instrument objects
+  obtained from a registry at construction time. The default registry
+  is :data:`NULL_REGISTRY`, whose instruments are shared no-op
+  singletons, so the disabled path is a single dynamic dispatch with no
+  allocation — and counted I/Os stay bit-identical either way.
+
+Histograms use fixed bucket bounds (Prometheus ``le`` semantics: a
+value lands in the first bucket whose upper bound is >= the value, with
+an implicit ``+Inf`` overflow bucket), so ``observe()`` is one bisect
+and one increment.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Sequence
+
+#: Modelled-latency bounds in nanoseconds: one memory I/O (~100 ns) up
+#: through many storage I/Os (~10 us each); geometric-ish spacing keeps
+#: relative quantile error bounded.
+LATENCY_NS_BUCKETS: tuple[float, ...] = (
+    100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200,
+    102_400, 204_800, 409_600, 819_200, 1_638_400, 6_553_600, 26_214_400,
+)
+
+#: Cuckoo eviction-walk lengths (0 = inserted without evicting anyone).
+EVICTION_WALK_BUCKETS: tuple[float, ...] = (
+    0, 1, 2, 3, 4, 6, 8, 12, 16, 32, 64, 128, 256, 512,
+)
+
+#: Sub-levels probed by one point read (Chucky's headline is ~always 1).
+SUBLEVELS_BUCKETS: tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+#: Merge fan-in (number of input sub-levels participating in one merge).
+MERGE_INPUT_BUCKETS: tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (or be sampled by a collector)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) semantics.
+
+    ``counts[i]`` counts observations with ``value <= bounds[i]`` (and
+    greater than the previous bound); ``counts[-1]`` is the implicit
+    ``+Inf`` overflow bucket.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float], help: str = ""
+    ) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.help = help
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation inside the
+        bucket holding the target rank. Values in the overflow bucket
+        clamp to the largest finite bound (the standard Prometheus
+        behaviour for ``histogram_quantile``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count > 0:
+                if i == len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1]
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i]
+                within = (target - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+        return self.bounds[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Named instruments plus collector callbacks.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same
+    name always returns the same object, so components can grab their
+    instruments once at construction and hold them (allocation-free hot
+    paths). Collectors are callables run by :meth:`collect` just before
+    an export, for sampled values (cache hit ratio, structure sizes)
+    that are cheaper to read on demand than to push on every change.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> Histogram:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        hist = Histogram(name, buckets, help)
+        self._instruments[name] = hist
+        return hist
+
+    def _get_or_create(self, cls, name: str, help: str):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        instrument = cls(name, help)
+        self._instruments[name] = instrument
+        return instrument
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Refresh sampled gauges (run every registered collector)."""
+        for fn in self._collectors:
+            fn()
+
+    def instruments(self) -> list[Instrument]:
+        """All instruments in registration order."""
+        return list(self._instruments.values())
+
+    def get(self, name: str) -> Instrument | None:
+        return self._instruments.get(name)
+
+
+# ----------------------------------------------------------------------
+# No-op variants: the zero-cost disabled path
+# ----------------------------------------------------------------------
+
+
+class NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = NullCounter("null")
+_NULL_GAUGE = NullGauge("null")
+_NULL_HISTOGRAM = NullHistogram("null", (1.0,))
+
+
+class NullRegistry(MetricsRegistry):
+    """Hands out shared no-op instruments; never accumulates anything."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        pass
+
+
+#: The process-wide disabled registry; components default to this.
+NULL_REGISTRY = NullRegistry()

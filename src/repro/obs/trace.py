@@ -1,0 +1,160 @@
+"""Trace spans over *modelled* time.
+
+A span wraps one logical operation (a point read, a write, a merge
+cascade, a codebook rebuild) and records how much modelled time — the
+:class:`~repro.common.cost.CostModel` price of the I/Os counted while
+the span was open — the operation took, plus arbitrary attributes and
+any nested child spans. Finished root spans land in a bounded ring
+buffer, so after a workload the last N operations can be dumped to
+explain a single slow or false-positive-heavy read without having
+logged millions of uninteresting ones.
+
+The clock is injected: :class:`~repro.engine.kvstore.KVStore` binds it
+to "total modelled nanoseconds so far" over its shared I/O counters.
+Spans therefore measure exactly the quantity the paper's figures are
+drawn in, not wall-clock noise from the Python interpreter.
+
+``NULL_TRACER`` is the no-op twin: ``span()`` returns a shared inert
+context manager, so disabled tracing costs one call and no allocation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+
+class Span:
+    """One traced operation: name, attributes, modelled duration,
+    nested children, and the error (if the wrapped block raised)."""
+
+    __slots__ = ("name", "attrs", "start_ns", "duration_ns", "children", "error")
+
+    def __init__(self, name: str, attrs: dict[str, Any], start_ns: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_ns = start_ns
+        self.duration_ns = 0.0
+        self.children: list[Span] = []
+        self.error: str | None = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes mid-span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class _SpanContext:
+    """Context manager pushing/popping one span on the tracer's stack.
+
+    Exception-safe: ``__exit__`` always pops and records the span, and
+    stamps the error type on it without swallowing the exception.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        tracer = self._tracer
+        span.duration_ns = tracer.clock() - span.start_ns
+        if exc_type is not None:
+            span.error = exc_type.__name__
+        popped = tracer._stack.pop()
+        assert popped is span, "span stack corrupted"
+        if tracer._stack:
+            tracer._stack[-1].children.append(span)
+        else:
+            tracer._ring.append(span)
+        return False  # never swallow
+
+
+class Tracer:
+    """Produces spans and keeps the last ``ring`` finished root spans."""
+
+    def __init__(
+        self, ring: int = 256, clock: Callable[[], float] | None = None
+    ) -> None:
+        if ring < 1:
+            raise ValueError(f"ring size must be >= 1, got {ring}")
+        #: Modelled-time source; rebound by the store that owns the
+        #: counters. Defaults to a frozen clock so spans still nest
+        #: correctly (with zero durations) before binding.
+        self.clock: Callable[[], float] = clock if clock is not None else lambda: 0.0
+        self._stack: list[Span] = []
+        self._ring: deque[Span] = deque(maxlen=ring)
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        return _SpanContext(self, Span(name, attrs, self.clock()))
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (open spans)."""
+        return len(self._stack)
+
+    def recent(self, n: int | None = None) -> list[Span]:
+        """The last ``n`` finished root spans, oldest first."""
+        spans = list(self._ring)
+        if n is None:
+            return spans
+        return spans[-n:] if n > 0 else []
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+class _NullSpanContext:
+    """Shared inert context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullSpan(Span):
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan("null", {}, 0.0)
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """No-op tracer: span() hands back one shared inert context."""
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_CONTEXT
+
+    def recent(self, n: int | None = None) -> list[Span]:
+        return []
+
+
+#: The process-wide disabled tracer.
+NULL_TRACER = NullTracer()
