@@ -9,18 +9,17 @@ and shows what the unified Cuckoo filter is doing under the hood:
 two memory I/Os per point read no matter how many runs exist.
 """
 
-from repro import ChuckyPolicy, KVStore, lazy_leveling
+from repro import EngineConfig, build_store
 
 
 def main() -> None:
     # A lazy-leveled LSM-tree (the paper's default): size ratio 5,
-    # tiered inner levels, one run at the largest level.
-    config = lazy_leveling(size_ratio=5, buffer_entries=64, block_entries=16)
-    store = KVStore(
-        config,
-        filter_policy=ChuckyPolicy(bits_per_entry=10),
-        cache_blocks=256,
-    )
+    # tiered inner levels, one run at the largest level. EngineConfig
+    # names the filter policy; build_store wires everything together.
+    store = build_store(EngineConfig.lazy_leveled(
+        size_ratio=5, buffer_entries=64, block_entries=16,
+        policy="chucky", bits_per_entry=10, cache_blocks=256,
+    ))
 
     # Write enough data to span several levels.
     print("writing 20,000 entries ...")

@@ -12,20 +12,21 @@ Compares four filter policies on the same Zipfian read workload and
 prints a Figure-14F-style latency breakdown for each.
 """
 
-from repro import BloomFilterPolicy, ChuckyPolicy, KVStore, NoFilterPolicy, tiering
+from repro import EngineConfig, build_store
 from repro.workloads import fill_tree_to_levels, zipf_over
 
 LEVELS = 5
 READS = 3000
 
 
-def run(policy_name: str, policy) -> None:
+def run(policy_name: str, policy: str) -> None:
     # Tiering maximizes the number of runs — the worst case for per-run
     # Bloom filters and the best showcase for a unified filter.
-    config = tiering(
-        size_ratio=4, buffer_entries=4, block_entries=8, initial_levels=LEVELS
-    )
-    store = KVStore(config, filter_policy=policy, cache_blocks=4096)
+    store = build_store(EngineConfig.tiered(
+        size_ratio=4, buffer_entries=4, block_entries=8,
+        initial_levels=LEVELS, policy=policy, bits_per_entry=10,
+        cache_blocks=4096,
+    ))
     placement = fill_tree_to_levels(store)
     keys = [key for keys in placement.values() for key in keys]
 
@@ -48,10 +49,10 @@ def main() -> None:
     runs = (LEVELS - 1) * 3 + 3
     print(f"tiered tree, {LEVELS} levels, up to {runs} runs; "
           f"Zipfian reads served mostly from the block cache\n")
-    run("Chucky", ChuckyPolicy(bits_per_entry=10))
-    run("blocked BFs (optimal)", BloomFilterPolicy(10, "blocked", "optimal"))
-    run("standard BFs (uniform)", BloomFilterPolicy(10, "standard", "uniform"))
-    run("no filters", NoFilterPolicy())
+    run("Chucky", "chucky")
+    run("blocked BFs (optimal)", "bloom")
+    run("standard BFs (uniform)", "bloom-standard")
+    run("no filters", "none")
     print("\nChucky pays two filter I/Os; the Bloom baselines pay one or")
     print("more per run — which dominates once storage I/Os are cached.")
 

@@ -12,14 +12,15 @@ Run with::
 
 import random
 
-from repro import ChuckyPolicy, KVStore, lazy_leveling
+from repro import EngineConfig, build_store, recover_store
 
 
 def main() -> None:
-    cfg = lazy_leveling(size_ratio=4, buffer_entries=32, block_entries=8)
-    store = KVStore(
-        cfg, filter_policy=ChuckyPolicy(bits_per_entry=10), durable=True
+    cfg = EngineConfig.lazy_leveled(
+        size_ratio=4, buffer_entries=32, block_entries=8,
+        policy="chucky", bits_per_entry=10, durable=True,
     )
+    store = build_store(cfg)
 
     print("writing 5,000 entries (with deletes) ...")
     rng = random.Random(7)
@@ -46,9 +47,7 @@ def main() -> None:
           f"{len(state.filter_blob or b''):,} filter-fingerprint bytes")
 
     print("\nrecovering ...")
-    recovered = KVStore.recover(
-        state, cfg, filter_policy=ChuckyPolicy(bits_per_entry=10)
-    )
+    recovered = recover_store(state, cfg)
     print(f"  storage blocks read during recovery: "
           f"{recovered.counters.storage.reads} "
           f"(manifests + fingerprints only — no data scan)")

@@ -5,6 +5,9 @@ Public API tour:
 
 * :class:`KVStore` — the complete store: memtable + Dostoevsky LSM-tree
   + pluggable filter policy + block cache + latency cost model.
+* :class:`EngineConfig` / :func:`build_store` — declarative store
+  construction (filter policies by registry name, ``shards=N`` for the
+  hash-sharded :class:`ShardedKVStore` behind the same surface).
 * :class:`ChuckyPolicy` / :class:`ChuckyFilter` — the paper's
   contribution: one Cuckoo filter mapping every entry to its sub-level
   through Huffman/FAC-compressed level IDs.
@@ -42,7 +45,14 @@ from repro.chucky import (
 )
 from repro.coding import LidDistribution
 from repro.common import CostModel, LatencyBreakdown
-from repro.engine import KVStore, ReadResult
+from repro.engine import (
+    EngineConfig,
+    KVStore,
+    ReadResult,
+    ShardedKVStore,
+    build_store,
+    recover_store,
+)
 from repro.filters import (
     BlockedBloomFilter,
     BloomFilter,
@@ -50,6 +60,7 @@ from repro.filters import (
     CuckooFilter,
     NoFilterPolicy,
 )
+from repro.filters.policy import available_policies, make_policy, register_policy
 from repro.lsm import LSMConfig, lazy_leveling, leveling, tiering
 
 __version__ = "1.0.0"
@@ -63,13 +74,17 @@ __all__ = [
     "ChuckyPolicy",
     "CostModel",
     "CuckooFilter",
+    "EngineConfig",
     "KVStore",
     "LSMConfig",
     "LatencyBreakdown",
     "LidDistribution",
     "NoFilterPolicy",
     "ReadResult",
+    "ShardedKVStore",
     "UncompressedLidFilter",
+    "available_policies",
+    "build_store",
     "fpr_bloom_optimal",
     "fpr_bloom_uniform",
     "fpr_chucky_lower_bound",
@@ -77,5 +92,8 @@ __all__ = [
     "fpr_cuckoo_integer_lids",
     "lazy_leveling",
     "leveling",
+    "make_policy",
+    "recover_store",
+    "register_policy",
     "tiering",
 ]

@@ -3,7 +3,10 @@
 Complements the closed-form models: these helpers read actual counters
 and structures of a :class:`repro.engine.kvstore.KVStore` to report the
 quantities LSM papers plot — write amplification, space amplification,
-run counts, filter memory, and per-component latency shares.
+run counts, filter memory, and per-component latency shares. A
+:class:`repro.engine.sharded.ShardedKVStore` is accepted too: its
+metrics aggregate over the shards (counts sum, ratios recompute from
+the summed counts, ``num_levels`` is the deepest shard).
 """
 
 from __future__ import annotations
@@ -39,35 +42,54 @@ class StoreMetrics:
         }
 
 
-def collect_metrics(store: KVStore) -> StoreMetrics:
-    """Compute the metrics bundle for a store's current state."""
-    tree = store.tree
-    stored = tree.num_entries
-    # Live = distinct newest versions that are not tombstones. A scan is
-    # exact; it bypasses counters so metrics collection is free.
-    with tree.storage.counting_suspended():
-        live_keys: dict[int, tuple[int, bool]] = {}
-        for entry, _ in tree.iter_entries_with_sublevels():
-            seen = live_keys.get(entry.key)
-            if seen is None or entry.seqno > seen[0]:
-                live_keys[entry.key] = (entry.seqno, entry.is_tombstone)
-        live = sum(1 for _, dead in live_keys.values() if not dead)
+def collect_metrics(store) -> StoreMetrics:
+    """Compute the metrics bundle for a store's current state.
 
-    writes = store.updates
-    block_writes = store.counters.storage.writes
-    entries_written = block_writes * store.config.block_entries
+    Accepts a :class:`KVStore` or anything exposing a ``shards`` list
+    of them (the sharded store); the latter aggregates.
+    """
+    shards = getattr(store, "shards", None)
+    if shards is None:
+        shards = [store]
+    num_levels = 0
+    num_runs = 0
+    live = 0
+    stored = 0
+    writes = 0
+    entries_written = 0
+    filter_bits = 0
+    blocks = 0
+    for shard in shards:
+        tree = shard.tree
+        stored += tree.num_entries
+        # Live = distinct newest versions that are not tombstones. A
+        # scan is exact; it bypasses counters so collection is free.
+        with tree.storage.counting_suspended():
+            live_keys: dict[int, tuple[int, bool]] = {}
+            for entry, _ in tree.iter_entries_with_sublevels():
+                seen = live_keys.get(entry.key)
+                if seen is None or entry.seqno > seen[0]:
+                    live_keys[entry.key] = (entry.seqno, entry.is_tombstone)
+            live += sum(1 for _, dead in live_keys.values() if not dead)
+        writes += shard.updates
+        entries_written += shard.counters.storage.writes * shard.config.block_entries
+        filter_bits += shard.policy.size_bits
+        num_levels = max(num_levels, tree.num_levels)
+        num_runs += len(tree.occupied_runs())
+        blocks += tree.storage.total_blocks
+
     wamp = entries_written / writes if writes else 0.0
     samp = stored / live if live else float(stored > 0)
-    fbits = store.policy.size_bits / stored if stored else 0.0
+    fbits = filter_bits / stored if stored else 0.0
     return StoreMetrics(
-        num_levels=tree.num_levels,
-        num_runs=len(tree.occupied_runs()),
+        num_levels=num_levels,
+        num_runs=num_runs,
         live_entries=live,
         stored_entries=stored,
         space_amplification=samp,
         write_amplification=wamp,
         filter_bits_per_entry=fbits,
-        blocks_in_storage=tree.storage.total_blocks,
+        blocks_in_storage=blocks,
     )
 
 

@@ -7,7 +7,8 @@ Six commands for poking at the system without writing code:
 * ``codebook``  — the full coding plan for one geometry
 * ``workload``  — run a mixed workload and print latency + metrics
   (``--metrics-out m.json`` additionally writes the observability
-  registry as a JSON artifact)
+  registry as a JSON artifact; ``--shards N`` hash-shards the store
+  and reports per-shard plus aggregate numbers)
 * ``stats``     — run a workload and render the metrics registry in
   Prometheus text exposition format (or JSON with ``--format json``)
 * ``trace``     — run a workload and dump the last N per-operation
@@ -30,7 +31,6 @@ from repro.analysis.fpr_models import (
 )
 from repro.analysis.measured import collect_metrics
 from repro.chucky.codebook import ChuckyCodebook
-from repro.chucky.policy import ChuckyPolicy
 from repro.coding.distributions import LidDistribution
 from repro.coding.entropy import (
     combination_entropy_per_lid,
@@ -38,9 +38,8 @@ from repro.coding.entropy import (
     lid_entropy_exact,
 )
 from repro.common.errors import CodebookError
-from repro.engine.kvstore import KVStore
-from repro.filters.policy import BloomFilterPolicy, NoFilterPolicy, XorFilterPolicy
-from repro.lsm.config import LSMConfig
+from repro.engine import EngineConfig, KVStore, ShardedKVStore, build_store
+from repro.filters.policy import available_policies
 from repro.obs import (
     Observability,
     registry_to_dict,
@@ -117,36 +116,29 @@ def cmd_codebook(args) -> int:
     return 0
 
 
-_POLICIES = {
-    "chucky": lambda m: ChuckyPolicy(bits_per_entry=m),
-    "chucky-uncompressed": lambda m: ChuckyPolicy(bits_per_entry=m, compressed=False),
-    "bloom": lambda m: BloomFilterPolicy(m, "blocked", "optimal"),
-    "bloom-standard": lambda m: BloomFilterPolicy(m, "standard", "uniform"),
-    "xor": lambda m: XorFilterPolicy(m),
-    "none": lambda m: NoFilterPolicy(),
-}
-
-
-def _drive_workload(
-    args, observability: Observability | None
-) -> tuple[KVStore, int, "object"]:
-    """Build a store and run the standard mixed workload.
-
-    Returns (store, hits, window snapshot taken before the reads).
-    """
-    config = LSMConfig(
+def _engine_config(args) -> EngineConfig:
+    """The workload commands' store configuration, from parsed flags."""
+    return EngineConfig(
         size_ratio=args.size_ratio,
         runs_per_level=args.runs_per_level,
         runs_at_last_level=args.runs_at_last,
         buffer_entries=args.buffer,
         block_entries=16,
-    )
-    store = KVStore(
-        config,
-        filter_policy=_POLICIES[args.policy](args.bits),
+        policy=args.policy,
+        bits_per_entry=args.bits,
         cache_blocks=args.cache_blocks,
-        observability=observability,
+        shards=args.shards,
     )
+
+
+def _drive_workload(
+    args, observability: Observability | None
+) -> tuple[KVStore | ShardedKVStore, int, "object"]:
+    """Build a store and run the standard mixed workload.
+
+    Returns (store, hits, window snapshot taken before the reads).
+    """
+    store = build_store(_engine_config(args), observability=observability)
     rng = random.Random(args.seed)
     universe = max(16, args.ops // 2)
     for i in range(args.ops):
@@ -160,14 +152,23 @@ def _drive_workload(
 
 def cmd_workload(args) -> int:
     obs = Observability() if args.metrics_out else None
+    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
     print(f"running {args.ops} writes + {args.reads} reads "
-          f"({args.policy}, T={args.size_ratio}) ...")
+          f"({args.policy}, T={args.size_ratio}{shard_note}) ...")
     store, hits, snap = _drive_workload(args, obs)
     lat = store.latency_since(snap, operations=args.reads)
     print(f"reads: {hits}/{args.reads} hits, "
           f"{lat.total_ns:.0f} ns/read modelled "
           f"(filter {lat.filter_ns:.0f}, fence {lat.fence_ns:.0f}, "
           f"storage {lat.storage_ns:.0f})")
+    if isinstance(store, ShardedKVStore):
+        entries = store.entries_per_shard()
+        print(f"  shards: {store.num_shards}, entries per shard "
+              f"{min(entries)}-{max(entries)} "
+              f"(imbalance {store.imbalance:.3f})")
+        for index, shard_lat in enumerate(store.shard_latencies(snap)):
+            print(f"    shard {index}: {shard_lat.total_ns:,.0f} ns total "
+                  f"(storage {shard_lat.storage_ns:,.0f})")
     metrics = collect_metrics(store)
     for name, value in metrics.as_dict().items():
         print(f"  {name:24s}: {value:g}")
@@ -195,8 +196,11 @@ def cmd_stats(args) -> int:
 
 def cmd_trace(args) -> int:
     obs = Observability(trace_ring=max(args.last, 1))
-    _drive_workload(args, obs)
-    spans = obs.tracer.recent(args.last)
+    store, _, _ = _drive_workload(args, obs)
+    if isinstance(store, ShardedKVStore):
+        spans = store.recent_spans(args.last)
+    else:
+        spans = obs.tracer.recent(args.last)
     if not spans:
         print("no spans recorded", file=sys.stderr)
         return 1
@@ -226,12 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_workload_args(p: argparse.ArgumentParser) -> None:
         _add_geometry(p)
-        p.add_argument("--policy", choices=sorted(_POLICIES), default="chucky")
+        p.add_argument("--policy", choices=available_policies(),
+                       default="chucky")
         p.add_argument("--ops", type=int, default=5000)
         p.add_argument("--reads", type=int, default=2000)
         p.add_argument("--buffer", type=int, default=64)
         p.add_argument("--cache-blocks", type=int, default=256)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--shards", type=int, default=1,
+                       help="hash-shard the store N ways (default 1: one "
+                            "monolithic store)")
 
     p_wl = sub.add_parser("workload", help="run a workload end to end")
     _add_workload_args(p_wl)

@@ -1,6 +1,30 @@
 """The key-value store engine: memtable + LSM-tree + filter policy +
-block cache + cost model, wired together behind one public facade."""
+block cache + cost model, wired together behind one public facade —
+plus the declarative construction layer (:class:`EngineConfig` /
+:func:`build_store`) and the hash-sharded router
+(:class:`ShardedKVStore`)."""
 
-from repro.engine.kvstore import CrashState, KVStore, ReadResult
+from repro.engine.config import EngineConfig, build_store, recover_store
+from repro.engine.kvstore import CrashState, IOSnapshot, KVStore, ReadResult
+from repro.engine.sharded import (
+    ShardedCrashState,
+    ShardedIOSnapshot,
+    ShardedKVStore,
+    aggregate_snapshots,
+    shard_of,
+)
 
-__all__ = ["CrashState", "KVStore", "ReadResult"]
+__all__ = [
+    "CrashState",
+    "EngineConfig",
+    "IOSnapshot",
+    "KVStore",
+    "ReadResult",
+    "ShardedCrashState",
+    "ShardedIOSnapshot",
+    "ShardedKVStore",
+    "aggregate_snapshots",
+    "build_store",
+    "recover_store",
+    "shard_of",
+]

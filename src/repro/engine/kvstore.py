@@ -237,9 +237,44 @@ class KVStore:
         self.updates += 1
 
     def put_batch(self, items: list[tuple[int, Any]]) -> None:
-        """Atomically buffer a batch, flushing as needed (section 4.5)."""
-        for key, value in items:
-            self.put(key, value)
+        """Atomically buffer a batch (paper section 4.5).
+
+        The whole batch enters the memtable — and the WAL, as one
+        all-or-nothing group record — together: when the batch would
+        not fit in the remaining buffer space, the memtable is flushed
+        *first*, so a mid-batch flush can never split the batch across
+        runs, and a crash can never surface a torn prefix of it. A
+        batch larger than the whole buffer degrades to buffer-sized
+        groups, each individually atomic.
+        """
+        if not items:
+            return
+        capacity = self.memtable.capacity
+        for start in range(0, len(items), capacity):
+            self._put_group(items[start : start + capacity])
+
+    def _put_group(self, group: list[tuple[int, Any]]) -> None:
+        if not self._obs_on:
+            self._put_group_impl(group)
+            return
+        start = self._modelled_ns()
+        with self.obs.tracer.span("put_batch", size=len(group)):
+            self._put_group_impl(group)
+        self._m_writes.inc(len(group))
+        self._m_write_latency.observe(self._modelled_ns() - start)
+
+    def _put_group_impl(self, group: list[tuple[int, Any]]) -> None:
+        if len(self.memtable) + len(group) > self.memtable.capacity:
+            self.flush()
+        stamped = []
+        for key, value in group:
+            self._seqno += 1
+            stamped.append((key, value, self._seqno))
+        if self.wal is not None:
+            self.wal.append_batch(stamped)
+        for key, value, seqno in stamped:
+            self.memtable.put(key, value, seqno)
+        self.updates += len(group)
 
     def _bump_seqno(self) -> int:
         """Allocate the next sequence number (bulk loaders use this to
@@ -419,6 +454,10 @@ class KVStore:
             false_positives += 1
         self.false_positives += false_positives
         return ReadResult(None, False, false_positives, probed)
+
+    def get_batch(self, keys: list[int]) -> list[Any]:
+        """Point-read many keys; values align with ``keys`` by index."""
+        return [self.get(key) for key in keys]
 
     def scan(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
         """Range read over [lo, hi]; filters are bypassed (section 4.5)."""

@@ -1,0 +1,348 @@
+"""Hash-sharded store: N independent KVStores behind one facade.
+
+The paper's single-filter design answers any point read in two memory
+I/Os no matter how many runs exist — which makes the store
+embarrassingly partitionable: hash every key onto one of N shards,
+give each shard its own memtable + LSM-tree + Chucky filter, and the
+convergent-FPR guarantee (Eq 16) holds *per shard*, while any
+operation on a shard costs exactly what a standalone store holding
+that shard's data would pay. :class:`ShardedKVStore` is the router:
+
+* point ops go to ``shard_of(key, N)`` (a pure function of the key
+  digest, so routing is stable across restarts and processes);
+* ``put_batch`` / ``get_batch`` group by shard so each shard's
+  memtable and WAL are touched once per batch;
+* ``scan`` k-way-merges the per-shard sorted iterators — shards
+  partition the key space disjointly, so each shard's own tombstone
+  suppression is final and the merge never sees a key twice;
+* ``crash`` / ``recover`` round-trip every shard's manifest, WAL and
+  persisted filter blob;
+* ``snapshot`` / ``latency_since`` aggregate the per-shard
+  :class:`IOSnapshot`s and latency breakdowns, and keep the per-shard
+  view available for skew diagnosis.
+"""
+
+from __future__ import annotations
+
+import heapq
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.common.cost import CostModel, LatencyBreakdown
+from repro.common.hashing import key_digest
+from repro.engine.kvstore import CrashState, IOSnapshot, KVStore, ReadResult
+from repro.filters.policy import FilterPolicy
+from repro.lsm.config import LSMConfig
+from repro.obs import NULL_OBS, Histogram, Observability
+from repro.obs.trace import Span
+
+#: Seed decorrelating shard routing from every other hash use in the
+#: repo (filter fingerprints, bucket addressing, Bloom probes), so a
+#: shard's key population looks uniform to its own filter.
+SHARD_SEED = 0x53484152  # "SHAR"
+
+#: Per-shard instrument names produced by ``Observability.child``.
+_SHARD_METRIC = re.compile(r"^shard(\d+)_(.+)$")
+
+
+def shard_of(key: int | str | bytes, num_shards: int) -> int:
+    """Stable shard index of ``key``: a pure function of the key digest,
+    so the same key routes to the same shard across restarts."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return key_digest(key, seed=SHARD_SEED) % num_shards
+
+
+def aggregate_snapshots(snaps: Sequence[IOSnapshot]) -> IOSnapshot:
+    """Sum per-shard snapshots into one store-wide :class:`IOSnapshot`
+    (memory I/O categories merge key-wise)."""
+    memory: dict[str, int] = {}
+    for snap in snaps:
+        for category, count in snap.memory.items():
+            memory[category] = memory.get(category, 0) + count
+    return IOSnapshot(
+        memory=memory,
+        storage_reads=sum(s.storage_reads for s in snaps),
+        storage_writes=sum(s.storage_writes for s in snaps),
+        queries=sum(s.queries for s in snaps),
+        updates=sum(s.updates for s in snaps),
+        false_positives=sum(s.false_positives for s in snaps),
+        cache_hits=sum(s.cache_hits for s in snaps),
+        cache_misses=sum(s.cache_misses for s in snaps),
+    )
+
+
+@dataclass(frozen=True)
+class ShardedCrashState:
+    """What survives a crash of a sharded store: every shard's
+    :class:`CrashState`, in shard order."""
+
+    shards: tuple[CrashState, ...]
+
+
+@dataclass(frozen=True)
+class ShardedIOSnapshot:
+    """Per-shard snapshots plus the aggregate view."""
+
+    shards: tuple[IOSnapshot, ...]
+
+    @property
+    def aggregate(self) -> IOSnapshot:
+        return aggregate_snapshots(self.shards)
+
+
+class ShardedKVStore:
+    """N independent :class:`KVStore` shards behind the KVStore surface.
+
+    The shards are plain stores — same geometry, own filter, own
+    counters — so every per-shard number (I/Os, FPR, latency) means
+    exactly what it does for a standalone store.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[KVStore],
+        observability: Observability | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("ShardedKVStore needs at least one shard")
+        self.shards = list(shards)
+        self.obs = observability if observability is not None else NULL_OBS
+        if self.obs.enabled:
+            self._register_instruments()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, key: int | str | bytes) -> KVStore:
+        """The shard that owns ``key``."""
+        return self.shards[shard_of(key, len(self.shards))]
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(self, key: int, value: Any) -> None:
+        self.shard_for(key).put(key, value)
+
+    def delete(self, key: int) -> None:
+        self.shard_for(key).delete(key)
+
+    def put_batch(self, items: list[tuple[int, Any]]) -> None:
+        """Buffer a batch, grouped so each shard's memtable and WAL are
+        touched once. Per-shard groups keep the caller's relative order
+        and each group is atomic within its shard (one WAL record)."""
+        groups: dict[int, list[tuple[int, Any]]] = {}
+        num = len(self.shards)
+        for key, value in items:
+            groups.setdefault(shard_of(key, num), []).append((key, value))
+        for index in sorted(groups):
+            self.shards[index].put_batch(groups[index])
+
+    def flush(self) -> None:
+        """Flush every shard's memtable."""
+        for shard in self.shards:
+            shard.flush()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: int) -> Any:
+        return self.shard_for(key).get(key)
+
+    def get_with_stats(self, key: int) -> ReadResult:
+        return self.shard_for(key).get_with_stats(key)
+
+    def get_batch(self, keys: list[int]) -> list[Any]:
+        """Point-read many keys, visiting each owning shard once with
+        its whole group; values align with ``keys`` by index."""
+        num = len(self.shards)
+        positions: dict[int, list[int]] = {}
+        for pos, key in enumerate(keys):
+            positions.setdefault(shard_of(key, num), []).append(pos)
+        out: list[Any] = [None] * len(keys)
+        for index in sorted(positions):
+            group = positions[index]
+            values = self.shards[index].get_batch([keys[p] for p in group])
+            for pos, value in zip(group, values):
+                out[pos] = value
+        return out
+
+    def scan(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """Range read: k-way merge of the per-shard sorted scans.
+
+        Shards partition the key space disjointly, so the merge never
+        yields one key twice, and tombstone suppression inside each
+        shard's scan is already final across the whole store.
+        """
+        yield from heapq.merge(
+            *(shard.scan(lo, hi) for shard in self.shards),
+            key=lambda item: item[0],
+        )
+
+    # ------------------------------------------------------------------
+    # Crash & recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> ShardedCrashState:
+        """Capture what survives a whole-store crash: every shard's
+        storage, manifest, WAL and persisted filter blob."""
+        return ShardedCrashState(
+            shards=tuple(shard.crash() for shard in self.shards)
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        state: ShardedCrashState,
+        config: LSMConfig,
+        policy_factory: Callable[[], FilterPolicy] | None = None,
+        cache_blocks: int = 0,
+        cost_model: CostModel | None = None,
+        observability: Observability | None = None,
+    ) -> "ShardedKVStore":
+        """Rebuild every shard from its crash state. ``policy_factory``
+        is called once per shard (each needs its own filter policy)."""
+        shards = []
+        for index, shard_state in enumerate(state.shards):
+            child = None
+            if observability is not None and observability.enabled:
+                child = observability.child(f"shard{index}_")
+            shards.append(
+                KVStore.recover(
+                    shard_state,
+                    config,
+                    filter_policy=(
+                        policy_factory() if policy_factory is not None else None
+                    ),
+                    cache_blocks=cache_blocks,
+                    cost_model=cost_model,
+                    observability=child,
+                )
+            )
+        return cls(shards, observability=observability)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ShardedIOSnapshot:
+        return ShardedIOSnapshot(
+            shards=tuple(shard.snapshot() for shard in self.shards)
+        )
+
+    def latency_since(
+        self, snap: ShardedIOSnapshot, operations: int | None = None
+    ) -> LatencyBreakdown:
+        """Store-wide modelled latency since ``snap`` (component-wise
+        sum of the per-shard breakdowns)."""
+        total = LatencyBreakdown()
+        for breakdown in self.shard_latencies(snap):
+            total.add(breakdown)
+        if operations:
+            total = total.scaled(1.0 / operations)
+        return total
+
+    def shard_latencies(self, snap: ShardedIOSnapshot) -> list[LatencyBreakdown]:
+        """Per-shard breakdowns since ``snap`` — the skew-diagnosis
+        view: a hot shard shows up as one outsized breakdown."""
+        return [
+            shard.latency_since(shard_snap)
+            for shard, shard_snap in zip(self.shards, snap.shards)
+        ]
+
+    def memory_ios_since(self, snap: ShardedIOSnapshot) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for shard, shard_snap in zip(self.shards, snap.shards):
+            for category, count in shard.memory_ios_since(shard_snap).items():
+                merged[category] = merged.get(category, 0) + count
+        return merged
+
+    def false_positives_since(self, snap: ShardedIOSnapshot) -> int:
+        return sum(
+            shard.false_positives_since(shard_snap)
+            for shard, shard_snap in zip(self.shards, snap.shards)
+        )
+
+    @property
+    def num_entries(self) -> int:
+        return sum(shard.num_entries for shard in self.shards)
+
+    @property
+    def queries(self) -> int:
+        return sum(shard.queries for shard in self.shards)
+
+    @property
+    def updates(self) -> int:
+        return sum(shard.updates for shard in self.shards)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(shard.false_positives for shard in self.shards)
+
+    def entries_per_shard(self) -> list[int]:
+        return [shard.num_entries for shard in self.shards]
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean entries per shard: 1.0 is perfectly balanced, 0.0
+        means the store is empty. The hash router keeps this near 1 for
+        any key distribution; a value well above 1 flags skew."""
+        entries = self.entries_per_shard()
+        mean = sum(entries) / len(entries)
+        return max(entries) / mean if mean else 0.0
+
+    def recent_spans(self, n: int | None = None) -> list[Span]:
+        """The most recent finished root spans across all shard tracers
+        (each stamped with its shard index), ordered oldest-first by
+        each shard's modelled clock."""
+        spans: list[Span] = []
+        for index, shard in enumerate(self.shards):
+            for span in shard.obs.tracer.recent():
+                span.set(shard=index)
+                spans.append(span)
+        spans.sort(key=lambda span: span.start_ns)
+        if n is None:
+            return spans
+        return spans[-n:] if n > 0 else []
+
+    def _register_instruments(self) -> None:
+        registry = self.obs.registry
+        registry.gauge("kv_shards", "shards in the sharded store").set(
+            len(self.shards)
+        )
+        registry.add_collector(self._collect_aggregates)
+
+    def _collect_aggregates(self) -> None:
+        """Roll per-shard instruments up into store-wide gauges.
+
+        Runs after the shard collectors (registration order), so the
+        sampled per-shard gauges are fresh. Counters and gauges named
+        ``shard<i>_<base>`` sum into ``agg_<base>``; histograms are
+        left per-shard (their buckets do not aggregate into a gauge).
+        """
+        registry = self.obs.registry
+        entries = self.entries_per_shard()
+        mean = sum(entries) / len(entries)
+        registry.gauge(
+            "shard_entries_max", "entries in the fullest shard"
+        ).set(max(entries))
+        registry.gauge("shard_entries_mean", "mean entries per shard").set(mean)
+        registry.gauge(
+            "shard_imbalance",
+            "max/mean entries per shard (1.0 = perfectly balanced)",
+        ).set(max(entries) / mean if mean else 0.0)
+        sums: dict[str, float] = {}
+        for instrument in list(registry.instruments()):
+            if isinstance(instrument, Histogram):
+                continue
+            match = _SHARD_METRIC.match(instrument.name)
+            if match is None:
+                continue
+            base = match.group(2)
+            sums[base] = sums.get(base, 0.0) + instrument.value
+        for base, total in sums.items():
+            registry.gauge(f"agg_{base}", f"sum of per-shard {base}").set(total)

@@ -11,7 +11,7 @@ every candidate with a single two-bucket lookup.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.coding.distributions import LidDistribution
 from repro.common.counters import IOCounters
@@ -246,3 +246,74 @@ class XorFilterPolicy(BloomFilterPolicy):
         # slots about twice; charge 6 memory I/Os per key.
         self.counters.memory.add("filter", 6 * len(keys))
         return filt
+
+
+# ----------------------------------------------------------------------
+# Policy registry: construct any filter policy by name
+# ----------------------------------------------------------------------
+
+#: A factory takes the memory budget in bits per entry and returns a
+#: fresh, unattached policy.
+PolicyFactory = Callable[[float], FilterPolicy]
+
+_POLICY_REGISTRY: dict[str, PolicyFactory] = {}
+
+
+def register_policy(
+    name: str, factory: PolicyFactory, *, replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` for :func:`make_policy`.
+
+    Registration is how new filter families plug into the engine
+    without touching construction call sites: the CLI's ``--policy``
+    choices and :class:`~repro.engine.config.EngineConfig` validation
+    both read this registry. Re-registering an existing name raises
+    unless ``replace=True`` (deliberate overrides, e.g. in tests).
+    """
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    if not replace and name in _POLICY_REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    _POLICY_REGISTRY[name] = factory
+
+
+def make_policy(name: str, bits_per_entry: float = 10.0) -> FilterPolicy:
+    """Build a fresh filter policy by registry name."""
+    try:
+        factory = _POLICY_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown filter policy {name!r}; available: "
+            f"{', '.join(sorted(_POLICY_REGISTRY))}"
+        ) from None
+    return factory(bits_per_entry)
+
+
+def available_policies() -> list[str]:
+    """Registered policy names, sorted."""
+    return sorted(_POLICY_REGISTRY)
+
+
+def _make_chucky(bits_per_entry: float) -> FilterPolicy:
+    # Imported lazily: repro.chucky.policy imports this module for the
+    # FilterPolicy base class.
+    from repro.chucky.policy import ChuckyPolicy
+
+    return ChuckyPolicy(bits_per_entry=bits_per_entry)
+
+
+def _make_chucky_uncompressed(bits_per_entry: float) -> FilterPolicy:
+    from repro.chucky.policy import ChuckyPolicy
+
+    return ChuckyPolicy(bits_per_entry=bits_per_entry, compressed=False)
+
+
+register_policy("chucky", _make_chucky)
+register_policy("chucky-uncompressed", _make_chucky_uncompressed)
+register_policy("bloom", lambda m: BloomFilterPolicy(m, "blocked", "optimal"))
+register_policy("blocked-bloom",
+                lambda m: BloomFilterPolicy(m, "blocked", "optimal"))
+register_policy("bloom-standard",
+                lambda m: BloomFilterPolicy(m, "standard", "uniform"))
+register_policy("xor", lambda m: XorFilterPolicy(m))
+register_policy("none", lambda m: NoFilterPolicy())

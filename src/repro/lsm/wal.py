@@ -22,6 +22,7 @@ from repro.lsm.entry import TOMBSTONE
 
 _PUT = 0
 _DELETE = 1
+_BATCH = 2
 
 
 class WalCorruption(ReproError):
@@ -59,6 +60,38 @@ class WriteAheadLog:
 
     def append_delete(self, key: int, seqno: int) -> None:
         self._append(_DELETE, key, b"", seqno)
+
+    def append_batch(self, items: list[tuple[int, Any, int]]) -> None:
+        """Append a whole batch of puts as ONE checksummed record.
+
+        This is the WAL half of the paper's atomic batch insertion
+        (section 4.5): because the batch shares a single length prefix
+        and checksum, a crash can only ever drop the *entire* batch (a
+        torn or checksum-failing tail record), never surface a prefix
+        of it. ``items`` are (key, value, seqno) triples.
+        """
+        if not items:
+            return
+        payload = bytearray([_BATCH])
+        payload += len(items).to_bytes(4, "little")
+        for key, value, seqno in items:
+            if not 0 <= key < 1 << 64:
+                raise ValueError(f"key {key} out of 64-bit range")
+            encoded = _encode_value(value)
+            payload += bytes([_DELETE if value is TOMBSTONE else _PUT])
+            payload += key.to_bytes(8, "little")
+            payload += seqno.to_bytes(8, "little")
+            payload += len(encoded).to_bytes(4, "little")
+            payload += encoded
+        body = bytes(payload)
+        record = (
+            len(body).to_bytes(4, "little")
+            + _checksum(body).to_bytes(4, "little")
+            + body
+        )
+        self.data.extend(record)
+        self.appended += len(items)
+        self.appended_bytes += len(record)
 
     def _append(self, kind: int, key: int, value: bytes, seqno: int) -> None:
         if not 0 <= key < 1 << 64:
@@ -110,11 +143,26 @@ class WriteAheadLog:
                     return  # torn tail: checksum of a partial final write
                 raise WalCorruption(f"bad checksum at offset {offset}")
             kind = payload[0]
+            offset += 8 + length
+            if kind == _BATCH:
+                count = int.from_bytes(payload[1:5], "little")
+                pos = 5
+                for _ in range(count):
+                    item_kind = payload[pos]
+                    key = int.from_bytes(payload[pos + 1 : pos + 9], "little")
+                    seqno = int.from_bytes(payload[pos + 9 : pos + 17], "little")
+                    vlen = int.from_bytes(payload[pos + 17 : pos + 21], "little")
+                    value_bytes = payload[pos + 21 : pos + 21 + vlen]
+                    pos += 21 + vlen
+                    if item_kind == _DELETE:
+                        yield "delete", key, TOMBSTONE, seqno
+                    else:
+                        yield "put", key, value_bytes.decode("utf-8"), seqno
+                continue
             key = int.from_bytes(payload[1:9], "little")
             seqno = int.from_bytes(payload[9:17], "little")
             vlen = int.from_bytes(payload[17:21], "little")
             value_bytes = payload[21 : 21 + vlen]
-            offset += 8 + length
             if kind == _DELETE:
                 yield "delete", key, TOMBSTONE, seqno
             else:

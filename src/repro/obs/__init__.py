@@ -39,6 +39,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    PrefixedRegistry,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -54,6 +55,7 @@ class Observability:
 
     def __init__(self, trace_ring: int = 256, enabled: bool = True) -> None:
         self.enabled = enabled
+        self.trace_ring = trace_ring
         if enabled:
             self.registry: MetricsRegistry = MetricsRegistry()
             self.tracer: Tracer = Tracer(ring=trace_ring)
@@ -67,6 +69,25 @@ class Observability:
         if self.enabled:
             self.tracer.clock = clock
 
+    def child(self, prefix: str) -> "Observability":
+        """A bundle that shares this one's metrics export — with every
+        instrument name prefixed — but records spans in its own tracer.
+
+        One child per shard: each shard binds its *own* modelled clock
+        (its counters price its I/Os), so shards cannot share a tracer,
+        while their metrics still aggregate into one scrape.
+        """
+        view = Observability.__new__(Observability)
+        view.enabled = self.enabled
+        view.trace_ring = self.trace_ring
+        if self.enabled:
+            view.registry = PrefixedRegistry(self.registry, prefix)
+            view.tracer = Tracer(ring=self.trace_ring)
+        else:
+            view.registry = NULL_REGISTRY
+            view.tracer = NULL_TRACER
+        return view
+
 
 #: The shared disabled bundle; the default for every component.
 NULL_OBS = Observability(enabled=False)
@@ -78,6 +99,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "PrefixedRegistry",
     "Counter",
     "Gauge",
     "Histogram",

@@ -209,6 +209,49 @@ class MetricsRegistry:
         return self._instruments.get(name)
 
 
+class PrefixedRegistry(MetricsRegistry):
+    """A view of another registry that prefixes every instrument name.
+
+    Lets several components share one scrape/export while keeping
+    their instruments distinct — the sharded store hands each shard a
+    ``PrefixedRegistry(parent, "shard3_")`` so the shard's
+    ``kv_reads_total`` lands in the parent as ``shard3_kv_reads_total``.
+    Collectors registered through the view run with the parent's
+    :meth:`collect`, and :meth:`instruments` narrows to this prefix.
+    """
+
+    def __init__(self, parent: MetricsRegistry, prefix: str) -> None:
+        self.parent = parent
+        self.prefix = prefix
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.parent.counter(self.prefix + name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.parent.gauge(self.prefix + name, help)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> Histogram:
+        return self.parent.histogram(self.prefix + name, buckets, help)
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        self.parent.add_collector(fn)
+
+    def collect(self) -> None:
+        self.parent.collect()
+
+    def instruments(self) -> list[Instrument]:
+        return [
+            inst
+            for inst in self.parent.instruments()
+            if inst.name.startswith(self.prefix)
+        ]
+
+    def get(self, name: str) -> Instrument | None:
+        return self.parent.get(self.prefix + name)
+
+
 # ----------------------------------------------------------------------
 # No-op variants: the zero-cost disabled path
 # ----------------------------------------------------------------------

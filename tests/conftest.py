@@ -7,6 +7,7 @@ import random
 import pytest
 
 from repro.coding.distributions import LidDistribution
+from repro.engine import EngineConfig, build_store
 from repro.lsm.config import LSMConfig, lazy_leveling, leveling, tiering
 
 
@@ -42,3 +43,17 @@ def small_tiering() -> LSMConfig:
 @pytest.fixture
 def small_lazy() -> LSMConfig:
     return lazy_leveling(size_ratio=3, buffer_entries=8, block_entries=4)
+
+
+@pytest.fixture
+def make_store():
+    """Factory for stores built through the one construction path
+    (:func:`repro.engine.build_store`); overrides are EngineConfig
+    fields. Small test-friendly defaults."""
+
+    def _make(**overrides):
+        fields = dict(size_ratio=3, buffer_entries=8, block_entries=4)
+        fields.update(overrides)
+        return build_store(EngineConfig(**fields))
+
+    return _make

@@ -1,5 +1,7 @@
 """The inspection CLI (``python -m repro``)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -62,3 +64,63 @@ class TestCommands:
             ["workload", "--policy", "xor", "--ops", "300",
              "--reads", "80", "--buffer", "16", "-t", "3"]
         ) == 0
+
+    def test_workload_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "--policy", "nope"])
+
+
+class TestSharded:
+    def test_shards_flag_default(self):
+        args = build_parser().parse_args(["workload"])
+        assert args.shards == 1
+
+    def test_workload_sharded_output(self, capsys):
+        assert main(
+            ["workload", "--shards", "4", "--ops", "600", "--reads", "150",
+             "--buffer", "16", "-t", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 shards" in out
+        assert "entries per shard" in out
+        assert "imbalance" in out
+        assert "shard 3:" in out
+        assert "write_amplification" in out
+
+    def test_workload_sharded_metrics_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "m.json"
+        assert main(
+            ["workload", "--shards", "4", "--ops", "600", "--reads", "150",
+             "--buffer", "16", "-t", "3", "--metrics-out", str(artifact)]
+        ) == 0
+        data = json.loads(artifact.read_text())
+        counters = data["counters"]
+        gauges = data["gauges"]
+        for index in range(4):
+            assert f"shard{index}_kv_reads_total" in counters
+        assert gauges["kv_shards"] == 4
+        assert gauges["agg_kv_reads_total"] == sum(
+            counters[f"shard{index}_kv_reads_total"] for index in range(4)
+        ) == 150
+        assert "shard_imbalance" in gauges
+
+    def test_stats_sharded_json(self, capsys):
+        assert main(
+            ["stats", "--shards", "2", "--ops", "300", "--reads", "80",
+             "--buffer", "16", "-t", "3", "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "shard0_kv_reads_total" in data["counters"]
+        assert "shard1_kv_reads_total" in data["counters"]
+        assert "agg_kv_reads_total" in data["gauges"]
+
+    def test_trace_sharded_spans_carry_shard(self, capsys):
+        assert main(
+            ["trace", "--shards", "2", "--ops", "300", "--reads", "80",
+             "--buffer", "16", "-t", "3", "--last", "8"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 8
+        for line in lines:
+            span = json.loads(line)
+            assert span["attrs"]["shard"] in (0, 1)

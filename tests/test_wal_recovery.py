@@ -79,6 +79,54 @@ class TestWal:
                 assert (kind, value) == ("put", ovalue)
 
 
+class TestWalBatch:
+    def test_batch_roundtrip(self):
+        wal = WriteAheadLog()
+        wal.append_put(1, "before", 1)
+        wal.append_batch([(10, "a", 2), (11, TOMBSTONE, 3), (12, "c", 4)])
+        wal.append_put(2, "after", 5)
+        records = list(wal.replay())
+        assert records == [
+            ("put", 1, "before", 1),
+            ("put", 10, "a", 2),
+            ("delete", 11, TOMBSTONE, 3),
+            ("put", 12, "c", 4),
+            ("put", 2, "after", 5),
+        ]
+
+    def test_batch_is_one_record(self):
+        """The whole batch shares one length+checksum header, so a torn
+        tail can never surface a prefix of it."""
+        single = WriteAheadLog()
+        for i in range(20):
+            single.append_put(i, "v", i + 1)
+        batched = WriteAheadLog()
+        batched.append_batch([(i, "v", i + 1) for i in range(20)])
+        assert batched.appended == single.appended == 20
+        assert batched.size_bytes < single.size_bytes
+
+    def test_torn_batch_is_all_or_nothing(self):
+        wal = WriteAheadLog()
+        wal.append_put(1, "intact", 1)
+        first_record_len = wal.size_bytes
+        wal.append_batch([(10, "a", 2), (11, "b", 3), (12, "c", 4)])
+        batch_record_len = wal.size_bytes - first_record_len
+        for cut in range(1, batch_record_len + 1):
+            torn = WriteAheadLog(data=bytearray(wal.data[:-cut]))
+            records = list(torn.replay())
+            # Any tear inside the batch record drops the whole batch —
+            # never a prefix of it — while earlier records survive.
+            batch_keys = [key for _, key, _, _ in records if key >= 10]
+            assert batch_keys == []
+            assert records == [("put", 1, "intact", 1)]
+
+    def test_empty_batch_is_noop(self):
+        wal = WriteAheadLog()
+        wal.append_batch([])
+        assert wal.size_bytes == 0
+        assert list(wal.replay()) == []
+
+
 def populated_store(policy, durable=True, n=500, seed=0):
     cfg = lazy_leveling(3, buffer_entries=8, block_entries=4)
     kv = KVStore(cfg, filter_policy=policy, durable=durable)
@@ -186,6 +234,73 @@ class TestCrashRecovery:
             (s, r.run_id, r.num_entries) for s, r in recovered.tree.occupied_runs()
         ]
         assert before == after
+
+
+class TestCrashMidBatch:
+    """Regression: ``put_batch`` must be all-or-nothing under a crash.
+
+    Before the batch WAL record existed, a torn tail could replay a
+    prefix of a batch — half the group visible after recovery."""
+
+    def make_store(self, buffer_entries=64):
+        cfg = lazy_leveling(3, buffer_entries=buffer_entries, block_entries=4)
+        kv = KVStore(
+            cfg, filter_policy=ChuckyPolicy(bits_per_entry=10), durable=True
+        )
+        return kv, cfg
+
+    def test_torn_wal_drops_whole_batch(self):
+        import dataclasses
+
+        kv, cfg = self.make_store()
+        kv.put(1, "pre-batch")
+        kv.flush()  # pre-batch data reaches storage; WAL now empty
+        kv.put_batch([(10 + i, f"b{i}") for i in range(8)])
+        state = kv.crash()
+        # Tear the tail anywhere inside the batch record: recovery must
+        # see either the whole batch (no tear) or none of it.
+        for cut in range(1, len(state.wal_data) + 1):
+            torn = dataclasses.replace(
+                state, wal_data=state.wal_data[:-cut]
+            )
+            recovered = KVStore.recover(
+                torn, cfg, filter_policy=ChuckyPolicy(bits_per_entry=10)
+            )
+            survivors = [
+                i for i in range(8) if recovered.get(10 + i) is not None
+            ]
+            assert survivors == [], f"partial batch after cut={cut}"
+            assert recovered.get(1) == "pre-batch"
+
+    def test_untorn_batch_fully_recovers(self):
+        kv, cfg = self.make_store()
+        kv.put_batch([(10 + i, f"b{i}") for i in range(8)])
+        recovered = KVStore.recover(
+            kv.crash(), cfg, filter_policy=ChuckyPolicy(bits_per_entry=10)
+        )
+        assert [recovered.get(10 + i) for i in range(8)] == [
+            f"b{i}" for i in range(8)
+        ]
+
+    def test_batch_never_split_by_mid_batch_flush(self):
+        """A batch that would overflow the memtable triggers a flush
+        *before* the batch, so the whole group lands in one memtable
+        generation (and one WAL record) — never half-flushed."""
+        kv, cfg = self.make_store(buffer_entries=8)
+        for i in range(6):
+            kv.put(i, f"warm{i}")
+        kv.put_batch([(100 + i, f"b{i}") for i in range(5)])  # 6+5 > 8
+        assert len(kv.memtable) == 5  # pre-flush ran; batch intact
+        assert all((100 + i) in kv.memtable for i in range(5))
+
+    def test_oversized_batch_chunks_atomically(self):
+        kv, cfg = self.make_store(buffer_entries=8)
+        kv.put_batch([(i, f"v{i}") for i in range(30)])  # > capacity
+        assert all(kv.get(i) == f"v{i}" for i in range(30))
+        recovered = KVStore.recover(
+            kv.crash(), cfg, filter_policy=ChuckyPolicy(bits_per_entry=10)
+        )
+        assert all(recovered.get(i) == f"v{i}" for i in range(30))
 
 
 @settings(max_examples=10, deadline=None)

@@ -5,9 +5,7 @@ from collections import Counter
 
 import pytest
 
-from repro.chucky.policy import ChuckyPolicy
-from repro.engine.kvstore import KVStore
-from repro.lsm.config import lazy_leveling, leveling
+from repro.engine import EngineConfig, build_store
 from repro.workloads.generators import (
     UniformGenerator,
     ZipfianGenerator,
@@ -95,10 +93,10 @@ class TestYcsbB:
 
 class TestLoaders:
     def make_store(self, levels=3):
-        cfg = lazy_leveling(
-            3, buffer_entries=8, block_entries=4, initial_levels=levels
-        )
-        return KVStore(cfg, filter_policy=ChuckyPolicy(bits_per_entry=10))
+        return build_store(EngineConfig.lazy_leveled(
+            3, buffer_entries=8, block_entries=4, initial_levels=levels,
+            policy="chucky", bits_per_entry=10,
+        ))
 
     def test_fills_every_sublevel(self):
         kv = self.make_store()
@@ -157,6 +155,8 @@ class TestLoaders:
         assert set(sample) <= set(placement[sub])
 
     def test_populate_store(self):
-        kv = KVStore(leveling(3, buffer_entries=8, block_entries=4))
+        kv = build_store(EngineConfig.leveled(
+            3, buffer_entries=8, block_entries=4, policy="none",
+        ))
         populate_store(kv, list(range(40)))
         assert kv.get(17) == "value-17"
