@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands for poking at the system without writing code:
+Eight commands for poking at the system without writing code:
 
 * ``info``      — package, geometry and codebook overview
 * ``fpr``       — model + measured FPR comparison for one geometry
@@ -13,13 +13,19 @@ Six commands for poking at the system without writing code:
   Prometheus text exposition format (or JSON with ``--format json``)
 * ``trace``     — run a workload and dump the last N per-operation
   trace spans (modelled-time durations, nesting, attributes)
+* ``serve``     — expose a (sharded) durable store over TCP: binary
+  protocol, group commit, BUSY backpressure, graceful drain on SIGINT
+* ``loadgen``   — drive a running server closed-loop over N
+  connections and write the ``BENCH_serve.json`` latency artifact
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import random
+import signal
 import sys
 
 from repro import __version__
@@ -171,7 +177,7 @@ def cmd_workload(args) -> int:
                   f"(storage {shard_lat.storage_ns:,.0f})")
     metrics = collect_metrics(store)
     for name, value in metrics.as_dict().items():
-        print(f"  {name:24s}: {value:g}")
+        print(f"  {name:24s}: {'n/a' if value is None else format(value, 'g')}")
     if obs is not None:
         try:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
@@ -207,6 +213,119 @@ def cmd_trace(args) -> int:
     for span in spans:
         print(json.dumps(span.to_dict(), sort_keys=True))
     return 0
+
+
+def _serve_config(args) -> EngineConfig:
+    """The server's store: like the workload store, but durable — the
+    WAL is what makes group commit and crash recovery meaningful."""
+    return EngineConfig(
+        size_ratio=args.size_ratio,
+        runs_per_level=args.runs_per_level,
+        runs_at_last_level=args.runs_at_last,
+        buffer_entries=args.buffer,
+        block_entries=16,
+        policy=args.policy,
+        bits_per_entry=args.bits,
+        cache_blocks=args.cache_blocks,
+        durable=True,
+        shards=args.shards,
+    )
+
+
+async def _serve_main(args) -> int:
+    from repro.server import ReproServer, ServerConfig
+
+    obs = Observability()
+    store = build_store(_serve_config(args), observability=obs)
+    server = ReproServer(
+        store,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue_depth=args.queue_depth,
+            group_commit_batch=args.commit_batch,
+        ),
+        observability=obs,
+    )
+    port = await server.start()
+    print(
+        f"repro serve: listening on {args.host}:{port} "
+        f"({args.shards} shard{'s' if args.shards != 1 else ''}, "
+        f"policy={args.policy}, max_inflight={args.max_inflight})",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                signum, lambda: loop.create_task(server.drain("signal"))
+            )
+        except (NotImplementedError, RuntimeError, ValueError):
+            # non-unix loop, or serving off the main thread (tests —
+            # asyncio re-raises the set_wakeup_fd ValueError as
+            # RuntimeError); SHUTDOWN over the wire still drains.
+            pass
+    await server.serve_until_drained()
+    print(
+        f"repro serve: drained ({server.requests} requests, "
+        f"{server.shed} shed, {server.errors} errors, "
+        f"{server.commit.batches} commit batches / "
+        f"{server.commit.items} writes)",
+        flush=True,
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    try:
+        return asyncio.run(_serve_main(args))
+    except KeyboardInterrupt:  # pragma: no cover — signal handler races
+        return 0
+
+
+def cmd_loadgen(args) -> int:
+    from repro.server import LoadgenConfig, run_loadgen, write_artifact
+
+    cfg = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        connections=args.connections,
+        ops=args.ops,
+        workload=args.workload,
+        key_space=args.key_space,
+        read_fraction=args.read_fraction,
+        theta=args.theta,
+        value_size=args.value_size,
+        seed=args.seed,
+        preload=not args.no_preload,
+    )
+    try:
+        summary = asyncio.run(run_loadgen(cfg))
+    except (ConnectionRefusedError, OSError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{summary['total_ops']} ops over {cfg.connections} connections "
+        f"in {summary['elapsed_s']:.2f}s "
+        f"({summary['throughput_ops_per_s']:,.0f} ops/s, "
+        f"{summary['busy_retries']} busy retries, "
+        f"{summary['errors']} errors)"
+    )
+    for op in ("read", "update"):
+        stats = summary["latency_us"][op]
+        if stats["count"]:
+            print(
+                f"  {op:6s}: n={stats['count']} p50={stats['p50_us']:.0f}us "
+                f"p95={stats['p95_us']:.0f}us p99={stats['p99_us']:.0f}us"
+            )
+    try:
+        write_artifact(summary, args.out)
+    except OSError as exc:
+        print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"artifact written to {args.out}")
+    return 1 if summary["errors"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -262,6 +381,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--last", type=int, default=10,
                          help="number of most recent spans to dump")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a (sharded) durable store over TCP"
+    )
+    _add_geometry(p_serve)
+    p_serve.add_argument("--policy", choices=available_policies(),
+                         default="chucky")
+    p_serve.add_argument("--buffer", type=int, default=256)
+    p_serve.add_argument("--cache-blocks", type=int, default=256)
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="hash-shard the store N ways")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7411,
+                         help="TCP port (0 = OS-assigned)")
+    p_serve.add_argument("--max-inflight", type=int, default=256,
+                         help="server-wide in-flight request cap; excess "
+                              "arrivals are shed with BUSY")
+    p_serve.add_argument("--queue-depth", type=int, default=32,
+                         help="per-connection pipelined-request cap")
+    p_serve.add_argument("--commit-batch", type=int, default=512,
+                         help="max writes coalesced into one group commit")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="drive a running server and write BENCH_serve.json"
+    )
+    p_lg.add_argument("--host", default="127.0.0.1")
+    p_lg.add_argument("--port", type=int, default=7411)
+    p_lg.add_argument("--connections", type=int, default=8)
+    p_lg.add_argument("--ops", type=int, default=5000)
+    p_lg.add_argument("--workload", choices=("uniform", "zipf", "ycsb-b"),
+                      default="ycsb-b")
+    p_lg.add_argument("--key-space", type=int, default=2000)
+    p_lg.add_argument("--read-fraction", type=float, default=0.95)
+    p_lg.add_argument("--theta", type=float, default=0.99)
+    p_lg.add_argument("--value-size", type=int, default=16)
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--no-preload", action="store_true",
+                      help="skip seeding the key population first")
+    p_lg.add_argument("--out", metavar="FILE", default="BENCH_serve.json",
+                      help="latency/throughput artifact path")
+    p_lg.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -74,6 +74,34 @@ class IOSnapshot:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (all ints; ``memory`` stays a sub-dict)
+        — what the serving layer's STATS op ships on the wire."""
+        return {
+            "memory": dict(self.memory),
+            "storage_reads": self.storage_reads,
+            "storage_writes": self.storage_writes,
+            "queries": self.queries,
+            "updates": self.updates,
+            "false_positives": self.false_positives,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "IOSnapshot":
+        """Inverse of :meth:`as_dict` (clean JSON round-trip)."""
+        return cls(
+            memory={str(k): int(v) for k, v in data["memory"].items()},
+            storage_reads=int(data["storage_reads"]),
+            storage_writes=int(data["storage_writes"]),
+            queries=int(data["queries"]),
+            updates=int(data["updates"]),
+            false_positives=int(data["false_positives"]),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+        )
+
 
 class KVStore:
     """A complete LSM-tree key-value store with pluggable filtering."""
@@ -185,6 +213,11 @@ class KVStore:
             registry.gauge("wal_appended_records", "records ever appended").set(
                 self.wal.appended
             )
+            registry.gauge(
+                "wal_batch_records",
+                "physical batch records ever appended (group commit "
+                "coalescing shows up as batch_records << writes)",
+            ).set(self.wal.batch_records)
             registry.gauge("wal_appended_bytes", "bytes ever appended").set(
                 self.wal.appended_bytes
             )
@@ -534,3 +567,10 @@ class KVStore:
     @property
     def num_entries(self) -> int:
         return self.tree.num_entries + len(self.memtable)
+
+    @property
+    def wal_batch_records(self) -> int:
+        """Physical batch records ever appended to the WAL (0 when the
+        store is not durable). The serving layer's group-commit check
+        compares this to the logical write count."""
+        return self.wal.batch_records if self.wal is not None else 0

@@ -283,6 +283,11 @@ class ShardedKVStore:
     def false_positives(self) -> int:
         return sum(shard.false_positives for shard in self.shards)
 
+    @property
+    def wal_batch_records(self) -> int:
+        """Physical WAL batch records across all shards."""
+        return sum(shard.wal_batch_records for shard in self.shards)
+
     def entries_per_shard(self) -> list[int]:
         return [shard.num_entries for shard in self.shards]
 

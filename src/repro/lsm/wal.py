@@ -54,6 +54,11 @@ class WriteAheadLog:
     #: survives truncation, so it is the monotone series the metrics
     #: registry exports as WAL write volume.
     appended_bytes: int = 0
+    #: Physical batch records ever appended (one per ``append_batch``
+    #: call). The group-commit acceptance check compares this against
+    #: the logical write count: coalescing is working iff it stays
+    #: strictly below the number of writes it covered.
+    batch_records: int = 0
 
     def append_put(self, key: int, value: Any, seqno: int) -> None:
         self._append(_PUT, key, _encode_value(value), seqno)
@@ -92,6 +97,7 @@ class WriteAheadLog:
         self.data.extend(record)
         self.appended += len(items)
         self.appended_bytes += len(record)
+        self.batch_records += 1
 
     def _append(self, kind: int, key: int, value: bytes, seqno: int) -> None:
         if not 0 <= key < 1 << 64:

@@ -30,10 +30,12 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import (
     EVICTION_WALK_BUCKETS,
+    GROUP_COMMIT_BUCKETS,
     LATENCY_NS_BUCKETS,
     MERGE_INPUT_BUCKETS,
     NULL_REGISTRY,
     SUBLEVELS_BUCKETS,
+    WIRE_LATENCY_US_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -115,4 +117,6 @@ __all__ = [
     "EVICTION_WALK_BUCKETS",
     "SUBLEVELS_BUCKETS",
     "MERGE_INPUT_BUCKETS",
+    "WIRE_LATENCY_US_BUCKETS",
+    "GROUP_COMMIT_BUCKETS",
 ]

@@ -45,6 +45,19 @@ SUBLEVELS_BUCKETS: tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 #: Merge fan-in (number of input sub-levels participating in one merge).
 MERGE_INPUT_BUCKETS: tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16)
 
+#: Wall-clock request latencies in MICROseconds, as seen by the TCP
+#: serving layer (these are real durations, not modelled time): tens of
+#: microseconds for an in-memory hit up through a second of queueing.
+WIRE_LATENCY_US_BUCKETS: tuple[float, ...] = (
+    50, 100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600,
+    51_200, 102_400, 204_800, 409_600, 819_200, 1_638_400,
+)
+
+#: Writes coalesced into one group-commit batch (1 = no coalescing).
+GROUP_COMMIT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024,
+)
+
 
 class Counter:
     """A monotonically increasing count."""

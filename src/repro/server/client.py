@@ -1,0 +1,273 @@
+"""Client libraries for the serving layer.
+
+Two clients over the same wire protocol:
+
+* :class:`AsyncClient` — asyncio, pipelined: many requests may be in
+  flight on one connection; a background dispatch task matches
+  responses to waiters by request id. This is what the load generator
+  and the server's own tests use.
+* :class:`SyncClient` — plain blocking sockets, strictly one request
+  at a time. Zero asyncio in sight, so scripts, REPL sessions and
+  examples can talk to a server with no ceremony.
+
+Both raise :class:`ServerBusy` when admission control sheds a request
+(safe to retry — a shed request was never applied),
+:class:`ServerShuttingDown` during a drain, and :class:`ServerError`
+for a server-side failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Any, Iterable
+
+from repro.common.errors import ReproError
+from repro.server.protocol import (
+    KIND_DELETE,
+    KIND_PUT,
+    FrameAssembler,
+    Op,
+    ProtocolError,
+    Request,
+    Response,
+    Status,
+    decode_response,
+    encode_request,
+    frame,
+    read_frame,
+)
+
+
+class ServerBusy(ReproError):
+    """The server shed this request (BUSY); it was not applied — retry."""
+
+
+class ServerShuttingDown(ReproError):
+    """The server is draining and no longer accepts work."""
+
+
+class ServerError(ReproError):
+    """The server failed processing this request."""
+
+
+def _encode_value(value: bytes | str) -> bytes:
+    return value if isinstance(value, bytes) else value.encode("utf-8")
+
+
+def _check(resp: Response) -> Response:
+    if resp.status is Status.BUSY:
+        raise ServerBusy(resp.message or "server overloaded")
+    if resp.status is Status.SHUTTING_DOWN:
+        raise ServerShuttingDown(resp.message or "server is draining")
+    if resp.status is Status.ERROR:
+        raise ServerError(resp.message or "server error")
+    return resp
+
+
+class AsyncClient:
+    """Pipelined asyncio client. Create with :meth:`connect`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._dispatch_task = asyncio.get_running_loop().create_task(
+            self._dispatch(), name="repro-client-dispatch"
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _dispatch(self) -> None:
+        """Read frames forever, resolving waiters by request id."""
+        error: Exception | None = None
+        try:
+            while True:
+                payload = await read_frame(self._reader)
+                if payload is None:
+                    break
+                resp = decode_response(payload)
+                waiter = self._waiters.pop(resp.request_id, None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(resp)
+        except (ProtocolError, ConnectionResetError, OSError) as exc:
+            error = exc
+        finally:
+            self._closed = True
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(
+                        error
+                        if error is not None
+                        else ConnectionResetError("connection closed")
+                    )
+            self._waiters.clear()
+
+    async def request(self, req: Request) -> Response:
+        """Send one request and await its response (raw: no status
+        checking — callers that care use the typed helpers below)."""
+        if self._closed:
+            raise ConnectionResetError("client is closed")
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[req.request_id] = waiter
+        self._writer.write(frame(encode_request(req)))
+        await self._writer.drain()
+        return await waiter
+
+    def _rid(self) -> int:
+        return next(self._ids)
+
+    # -- typed operations ----------------------------------------------
+
+    async def ping(self) -> None:
+        _check(await self.request(Request(self._rid(), Op.PING)))
+
+    async def get(self, key: int) -> bytes | None:
+        resp = _check(await self.request(Request(self._rid(), Op.GET, key=key)))
+        return None if resp.status is Status.NOT_FOUND else resp.value
+
+    async def put(self, key: int, value: bytes | str) -> None:
+        _check(
+            await self.request(
+                Request(self._rid(), Op.PUT, key=key, value=_encode_value(value))
+            )
+        )
+
+    async def delete(self, key: int) -> None:
+        _check(await self.request(Request(self._rid(), Op.DELETE, key=key)))
+
+    async def put_batch(
+        self, items: Iterable[tuple[int, bytes | str | None]]
+    ) -> int:
+        """Batched writes; a ``None`` value deletes the key. Returns
+        the number of applied items."""
+        wire_items = tuple(
+            (KIND_DELETE, key, b"")
+            if value is None
+            else (KIND_PUT, key, _encode_value(value))
+            for key, value in items
+        )
+        resp = _check(
+            await self.request(Request(self._rid(), Op.BATCH, items=wire_items))
+        )
+        return resp.count
+
+    async def scan(
+        self, lo: int, hi: int, limit: int = 0
+    ) -> list[tuple[int, bytes]]:
+        resp = _check(
+            await self.request(
+                Request(self._rid(), Op.SCAN, lo=lo, hi=hi, limit=limit)
+            )
+        )
+        return list(resp.pairs)
+
+    async def stats(self) -> dict[str, Any]:
+        resp = _check(await self.request(Request(self._rid(), Op.STATS)))
+        return json.loads(resp.value.decode("utf-8"))
+
+    async def shutdown(self) -> None:
+        """Ask the server to drain gracefully."""
+        _check(await self.request(Request(self._rid(), Op.SHUTDOWN)))
+
+    async def close(self) -> None:
+        self._closed = True
+        self._dispatch_task.cancel()
+        try:
+            await self._dispatch_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class SyncClient:
+    """Blocking-socket client: one request, one response, in order."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._assembler = FrameAssembler()
+        self._frames: list[bytes] = []
+        self._ids = itertools.count(1)
+
+    def _roundtrip(self, req: Request) -> Response:
+        self._sock.sendall(frame(encode_request(req)))
+        while not self._frames:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("server closed the connection")
+            self._frames.extend(self._assembler.feed(chunk))
+        payload = self._frames.pop(0)
+        resp = decode_response(payload)
+        if resp.request_id != req.request_id:
+            raise ProtocolError(
+                f"response id {resp.request_id} != request id {req.request_id}"
+            )
+        return _check(resp)
+
+    def _rid(self) -> int:
+        return next(self._ids)
+
+    def ping(self) -> None:
+        self._roundtrip(Request(self._rid(), Op.PING))
+
+    def get(self, key: int) -> bytes | None:
+        resp = self._roundtrip(Request(self._rid(), Op.GET, key=key))
+        return None if resp.status is Status.NOT_FOUND else resp.value
+
+    def put(self, key: int, value: bytes | str) -> None:
+        self._roundtrip(
+            Request(self._rid(), Op.PUT, key=key, value=_encode_value(value))
+        )
+
+    def delete(self, key: int) -> None:
+        self._roundtrip(Request(self._rid(), Op.DELETE, key=key))
+
+    def put_batch(self, items: Iterable[tuple[int, bytes | str | None]]) -> int:
+        wire_items = tuple(
+            (KIND_DELETE, key, b"")
+            if value is None
+            else (KIND_PUT, key, _encode_value(value))
+            for key, value in items
+        )
+        resp = self._roundtrip(Request(self._rid(), Op.BATCH, items=wire_items))
+        return resp.count
+
+    def scan(self, lo: int, hi: int, limit: int = 0) -> list[tuple[int, bytes]]:
+        resp = self._roundtrip(
+            Request(self._rid(), Op.SCAN, lo=lo, hi=hi, limit=limit)
+        )
+        return list(resp.pairs)
+
+    def stats(self) -> dict[str, Any]:
+        resp = self._roundtrip(Request(self._rid(), Op.STATS))
+        return json.loads(resp.value.decode("utf-8"))
+
+    def shutdown(self) -> None:
+        self._roundtrip(Request(self._rid(), Op.SHUTDOWN))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SyncClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

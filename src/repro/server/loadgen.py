@@ -1,0 +1,186 @@
+"""Closed-loop load generator for the serving layer.
+
+Replays the repo's workload generators — uniform, Zipfian, YCSB-B —
+over N concurrent TCP connections against a running ``repro serve``
+endpoint. Closed loop means each connection issues its next request
+only after the previous response arrived, so offered load scales with
+the connection count and measured latency includes queueing at the
+server, exactly the regime the ROADMAP's "heavy traffic" goal cares
+about.
+
+Per-operation wall-clock latencies are recorded exactly (sorted lists,
+not histogram buckets — op counts here are small enough) and the run
+summary — throughput plus p50/p95/p99 per op type — is written as the
+``BENCH_serve.json`` artifact that starts the repo's serving-perf
+trajectory.
+
+``BUSY`` responses (admission-control shedding) are retried with a
+small exponential backoff and counted separately: a shed request is
+not an error, it is the backpressure mechanism working.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass
+
+from repro.server.client import AsyncClient, ServerBusy
+from repro.workloads.generators import request_stream
+
+#: How many times one op retries BUSY before counting as an error.
+MAX_BUSY_RETRIES = 50
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run, as plain data."""
+
+    host: str = "127.0.0.1"
+    port: int = 7411
+    connections: int = 8
+    ops: int = 5000
+    workload: str = "ycsb-b"  # uniform | zipf | ycsb-b
+    key_space: int = 2000
+    read_fraction: float = 0.95
+    theta: float = 0.99
+    value_size: int = 16
+    seed: int = 0
+    preload: bool = True
+
+    def __post_init__(self) -> None:
+        if self.connections < 1:
+            raise ValueError(
+                f"connections must be >= 1, got {self.connections}"
+            )
+        if self.ops < 1:
+            raise ValueError(f"ops must be >= 1, got {self.ops}")
+        if self.key_space < 1:
+            raise ValueError(f"key_space must be >= 1, got {self.key_space}")
+        if self.workload not in ("uniform", "zipf", "ycsb-b"):
+            raise ValueError(
+                f"workload must be uniform|zipf|ycsb-b, got {self.workload!r}"
+            )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank percentile of a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, min(len(sorted_values), round(q * len(sorted_values) + 0.5)))
+    return sorted_values[rank - 1]
+
+
+def _summarize_op(latencies_us: list[float]) -> dict:
+    ordered = sorted(latencies_us)
+    count = len(ordered)
+    return {
+        "count": count,
+        "mean_us": sum(ordered) / count if count else 0.0,
+        "p50_us": _percentile(ordered, 0.50),
+        "p95_us": _percentile(ordered, 0.95),
+        "p99_us": _percentile(ordered, 0.99),
+        "max_us": ordered[-1] if ordered else 0.0,
+    }
+
+
+async def _preload(cfg: LoadgenConfig) -> None:
+    """Seed the whole key population so reads have something to hit."""
+    client = await AsyncClient.connect(cfg.host, cfg.port)
+    try:
+        value = "x" * cfg.value_size
+        keys = list(range(cfg.key_space))
+        for start in range(0, len(keys), 500):
+            chunk = keys[start : start + 500]
+            await client.put_batch([(key, value) for key in chunk])
+    finally:
+        await client.close()
+
+
+async def _worker(
+    cfg: LoadgenConfig,
+    index: int,
+    ops: int,
+    latencies: dict[str, list[float]],
+    counters: dict[str, int],
+) -> None:
+    client = await AsyncClient.connect(cfg.host, cfg.port)
+    value = f"c{index}-" + "y" * max(0, cfg.value_size - 4)
+    stream = request_stream(
+        cfg.workload,
+        list(range(cfg.key_space)),
+        ops,
+        read_fraction=cfg.read_fraction,
+        theta=cfg.theta,
+        seed=cfg.seed * 1_000_003 + index,
+    )
+    try:
+        for op, key in stream:
+            start = time.perf_counter_ns()
+            backoff = 0.0005
+            for attempt in range(MAX_BUSY_RETRIES + 1):
+                try:
+                    if op == "read":
+                        await client.get(key)
+                    else:
+                        await client.put(key, value)
+                    break
+                except ServerBusy:
+                    counters["busy_retries"] += 1
+                    if attempt == MAX_BUSY_RETRIES:
+                        counters["errors"] += 1
+                        break
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, 0.05)
+                except Exception:  # noqa: BLE001 — survey run keeps going
+                    counters["errors"] += 1
+                    break
+            latencies[op].append((time.perf_counter_ns() - start) / 1_000)
+    finally:
+        await client.close()
+
+
+async def run_loadgen(cfg: LoadgenConfig) -> dict:
+    """Run the configured load and return the summary dict
+    (the exact structure written to ``BENCH_serve.json``)."""
+    if cfg.preload:
+        await _preload(cfg)
+    latencies: dict[str, list[float]] = {"read": [], "update": []}
+    counters = {"busy_retries": 0, "errors": 0}
+    per_conn = [cfg.ops // cfg.connections] * cfg.connections
+    for i in range(cfg.ops % cfg.connections):
+        per_conn[i] += 1
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(cfg, index, ops, latencies, counters)
+            for index, ops in enumerate(per_conn)
+            if ops > 0
+        )
+    )
+    elapsed = time.perf_counter() - started
+    total_ops = sum(len(v) for v in latencies.values())
+    all_latencies = [x for v in latencies.values() for x in v]
+    summary = {
+        "bench": "serve",
+        "config": asdict(cfg),
+        "elapsed_s": elapsed,
+        "total_ops": total_ops,
+        "throughput_ops_per_s": total_ops / elapsed if elapsed > 0 else 0.0,
+        "busy_retries": counters["busy_retries"],
+        "errors": counters["errors"],
+        "latency_us": {
+            "all": _summarize_op(all_latencies),
+            "read": _summarize_op(latencies["read"]),
+            "update": _summarize_op(latencies["update"]),
+        },
+    }
+    return summary
+
+
+def write_artifact(summary: dict, path: str) -> None:
+    """Write the run summary as a JSON artifact."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")

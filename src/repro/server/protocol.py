@@ -1,0 +1,381 @@
+"""The wire protocol: length-prefixed binary frames.
+
+Every message — request or response — travels as one *frame*::
+
+    +----------------+---------------------------+
+    | u32 BE length  | payload (length bytes)    |
+    +----------------+---------------------------+
+
+and every payload starts with the same header::
+
+    request  : u64 BE request_id | u8 opcode | body
+    response : u64 BE request_id | u8 opcode | u8 status | body
+
+The request id is chosen by the client and echoed verbatim, which is
+what makes pipelining work: a client may have many requests in flight
+on one connection and match responses out of order. The opcode is
+echoed in the response so decoding is self-describing (no per-id state
+needed to interpret a body).
+
+Bodies (all integers unsigned big-endian, values are raw bytes):
+
+========  =======================================================
+PING      (empty)
+GET       u64 key
+PUT       u64 key | u32 vlen | value
+DELETE    u64 key
+BATCH     u32 count | count * (u8 kind | u64 key | u32 vlen | value)
+          kind 0 = put, 1 = delete (vlen must be 0 for deletes)
+SCAN      u64 lo | u64 hi | u32 limit
+STATS     (empty)
+SHUTDOWN  (empty)
+========  =======================================================
+
+Response bodies by status/op: ``OK GET`` carries ``u32 vlen | value``
+(``NOT_FOUND`` is empty); ``OK BATCH`` carries ``u32 applied``; ``OK
+SCAN`` carries ``u32 count | count * (u64 key | u32 vlen | value)``;
+``OK STATS`` carries UTF-8 JSON; ``BUSY`` / ``ERROR`` /
+``SHUTTING_DOWN`` carry an optional UTF-8 message. Everything else is
+empty.
+
+Robustness rules (enforced here, relied on by the server): a frame
+longer than :data:`MAX_FRAME_BYTES` is a protocol error before any
+allocation of its payload; a payload with a bad opcode, a truncated
+body, or trailing garbage raises :class:`ProtocolError`. The server
+answers a malformed frame by erroring *that connection* — never by
+crashing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.common.errors import ReproError
+
+#: Hard cap on one frame's payload. Large enough for a 4k-item batch of
+#: 200-byte values, small enough that a garbage length prefix cannot
+#: make the server buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Frame header: payload length.
+_LEN = struct.Struct(">I")
+#: Request header: request id + opcode.
+_REQ_HEAD = struct.Struct(">QB")
+#: Response header: request id + opcode + status.
+_RESP_HEAD = struct.Struct(">QBB")
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_KEY_VLEN = struct.Struct(">QI")
+_SCAN_BODY = struct.Struct(">QQI")
+
+MAX_KEY = (1 << 64) - 1
+
+
+class ProtocolError(ReproError):
+    """A frame or payload that violates the wire format."""
+
+
+class Op(IntEnum):
+    PING = 0
+    GET = 1
+    PUT = 2
+    DELETE = 3
+    BATCH = 4
+    SCAN = 5
+    STATS = 6
+    SHUTDOWN = 7
+
+
+class Status(IntEnum):
+    OK = 0
+    NOT_FOUND = 1
+    BUSY = 2
+    ERROR = 3
+    SHUTTING_DOWN = 4
+
+
+#: BATCH item kinds.
+KIND_PUT = 0
+KIND_DELETE = 1
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request. Only the fields the op uses are meaningful
+    (e.g. ``key`` for GET/PUT/DELETE, ``items`` for BATCH)."""
+
+    request_id: int
+    op: Op
+    key: int = 0
+    value: bytes = b""
+    #: BATCH payload: (kind, key, value) triples.
+    items: tuple[tuple[int, int, bytes], ...] = ()
+    lo: int = 0
+    hi: int = 0
+    limit: int = 0
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decoded response."""
+
+    request_id: int
+    op: Op
+    status: Status
+    value: bytes = b""
+    #: SCAN payload: (key, value) pairs.
+    pairs: tuple[tuple[int, bytes], ...] = ()
+    count: int = 0
+    message: str = ""
+
+
+def _check_key(key: int) -> int:
+    if not 0 <= key <= MAX_KEY:
+        raise ProtocolError(f"key {key} out of u64 range")
+    return key
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def encode_request(req: Request) -> bytes:
+    """Serialize a request payload (no frame header)."""
+    head = _REQ_HEAD.pack(req.request_id, int(req.op))
+    op = req.op
+    if op in (Op.PING, Op.STATS, Op.SHUTDOWN):
+        return head
+    if op in (Op.GET, Op.DELETE):
+        return head + _U64.pack(_check_key(req.key))
+    if op is Op.PUT:
+        return head + _KEY_VLEN.pack(_check_key(req.key), len(req.value)) + req.value
+    if op is Op.BATCH:
+        parts = [head, _U32.pack(len(req.items))]
+        for kind, key, value in req.items:
+            if kind not in (KIND_PUT, KIND_DELETE):
+                raise ProtocolError(f"bad batch item kind {kind}")
+            if kind == KIND_DELETE and value:
+                raise ProtocolError("batch delete item carries a value")
+            parts.append(bytes([kind]))
+            parts.append(_KEY_VLEN.pack(_check_key(key), len(value)))
+            parts.append(value)
+        return b"".join(parts)
+    if op is Op.SCAN:
+        return head + _SCAN_BODY.pack(
+            _check_key(req.lo), _check_key(req.hi), req.limit
+        )
+    raise ProtocolError(f"unknown opcode {op!r}")
+
+
+def encode_response(resp: Response) -> bytes:
+    """Serialize a response payload (no frame header)."""
+    head = _RESP_HEAD.pack(resp.request_id, int(resp.op), int(resp.status))
+    if resp.status in (Status.BUSY, Status.ERROR, Status.SHUTTING_DOWN):
+        return head + resp.message.encode("utf-8")
+    if resp.status is Status.NOT_FOUND:
+        return head
+    op = resp.op
+    if op is Op.GET:
+        return head + _U32.pack(len(resp.value)) + resp.value
+    if op is Op.BATCH:
+        return head + _U32.pack(resp.count)
+    if op is Op.SCAN:
+        parts = [head, _U32.pack(len(resp.pairs))]
+        for key, value in resp.pairs:
+            parts.append(_KEY_VLEN.pack(_check_key(key), len(value)))
+            parts.append(value)
+        return b"".join(parts)
+    if op is Op.STATS:
+        return head + resp.value
+    return head  # PING / PUT / DELETE / SHUTDOWN OK: empty body
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a payload in its length prefix."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+class _Cursor:
+    """Bounds-checked reader over one payload."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise ProtocolError(
+                f"truncated payload: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        return fmt.unpack(self.take(fmt.size))
+
+    def finish(self) -> None:
+        if self.pos != len(self.data):
+            raise ProtocolError(
+                f"{len(self.data) - self.pos} bytes of trailing garbage"
+            )
+
+    def rest(self) -> bytes:
+        chunk = self.data[self.pos :]
+        self.pos = len(self.data)
+        return chunk
+
+
+def _decode_op(raw: int) -> Op:
+    try:
+        return Op(raw)
+    except ValueError:
+        raise ProtocolError(f"unknown opcode {raw}") from None
+
+
+def decode_request(payload: bytes) -> Request:
+    """Parse a request payload; raises :class:`ProtocolError` on any
+    violation (bad opcode, truncated body, trailing garbage)."""
+    cur = _Cursor(payload)
+    request_id, raw_op = cur.unpack(_REQ_HEAD)
+    op = _decode_op(raw_op)
+    if op in (Op.PING, Op.STATS, Op.SHUTDOWN):
+        cur.finish()
+        return Request(request_id, op)
+    if op in (Op.GET, Op.DELETE):
+        (key,) = cur.unpack(_U64)
+        cur.finish()
+        return Request(request_id, op, key=key)
+    if op is Op.PUT:
+        key, vlen = cur.unpack(_KEY_VLEN)
+        value = cur.take(vlen)
+        cur.finish()
+        return Request(request_id, op, key=key, value=value)
+    if op is Op.BATCH:
+        (count,) = cur.unpack(_U32)
+        items = []
+        for _ in range(count):
+            (kind,) = cur.take(1)
+            if kind not in (KIND_PUT, KIND_DELETE):
+                raise ProtocolError(f"bad batch item kind {kind}")
+            key, vlen = cur.unpack(_KEY_VLEN)
+            if kind == KIND_DELETE and vlen:
+                raise ProtocolError("batch delete item carries a value")
+            items.append((kind, key, cur.take(vlen)))
+        cur.finish()
+        return Request(request_id, op, items=tuple(items))
+    # SCAN (op set is closed: _decode_op already rejected everything else)
+    lo, hi, limit = cur.unpack(_SCAN_BODY)
+    cur.finish()
+    return Request(request_id, op, lo=lo, hi=hi, limit=limit)
+
+
+def decode_response(payload: bytes) -> Response:
+    """Parse a response payload (client side of :func:`encode_response`)."""
+    cur = _Cursor(payload)
+    request_id, raw_op, raw_status = cur.unpack(_RESP_HEAD)
+    op = _decode_op(raw_op)
+    try:
+        status = Status(raw_status)
+    except ValueError:
+        raise ProtocolError(f"unknown status {raw_status}") from None
+    if status in (Status.BUSY, Status.ERROR, Status.SHUTTING_DOWN):
+        message = cur.rest().decode("utf-8", errors="replace")
+        return Response(request_id, op, status, message=message)
+    if status is Status.NOT_FOUND:
+        cur.finish()
+        return Response(request_id, op, status)
+    if op is Op.GET:
+        (vlen,) = cur.unpack(_U32)
+        value = cur.take(vlen)
+        cur.finish()
+        return Response(request_id, op, status, value=value)
+    if op is Op.BATCH:
+        (count,) = cur.unpack(_U32)
+        cur.finish()
+        return Response(request_id, op, status, count=count)
+    if op is Op.SCAN:
+        (count,) = cur.unpack(_U32)
+        pairs = []
+        for _ in range(count):
+            key, vlen = cur.unpack(_KEY_VLEN)
+            pairs.append((key, cur.take(vlen)))
+        cur.finish()
+        return Response(request_id, op, status, pairs=tuple(pairs))
+    if op is Op.STATS:
+        return Response(request_id, op, status, value=cur.rest())
+    cur.finish()
+    return Response(request_id, op, status)
+
+
+class FrameAssembler:
+    """Incremental frame splitter for a byte stream.
+
+    Feed it arbitrary chunks as they arrive; it yields complete
+    payloads and keeps partial frames buffered. A length prefix larger
+    than :data:`MAX_FRAME_BYTES` raises :class:`ProtocolError`
+    immediately — before the (possibly absurd) payload is buffered.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        self._buf.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds MAX_FRAME_BYTES"
+                )
+            if len(self._buf) < _LEN.size + length:
+                return frames
+            frames.append(bytes(self._buf[_LEN.size : _LEN.size + length]))
+            del self._buf[: _LEN.size + length]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buf)
+
+
+async def read_frame(reader) -> bytes | None:
+    """Read one payload from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on an oversized length prefix or EOF mid-
+    frame (a torn frame is a protocol violation, not a clean close).
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid frame header") from None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid frame body") from None

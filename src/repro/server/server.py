@@ -1,0 +1,451 @@
+"""The asyncio TCP front-end over a (sharded) KVStore.
+
+One :class:`ReproServer` owns one store and serves the wire protocol
+of :mod:`repro.server.protocol` to any number of connections. The
+event loop is the store's serialization point: every store call runs
+synchronously on the loop thread, so the engine — which is not thread
+safe and whose I/O counters must never race — sees a strictly serial
+operation stream no matter how many clients are connected.
+
+What earns this layer its keep beyond plumbing:
+
+* **Group commit** — PUT/DELETE submissions from concurrent handlers
+  coalesce into crash-atomic ``put_batch`` calls (one WAL batch record
+  per group per shard) via :class:`GroupCommitWriter`.
+* **Admission control** — at most ``max_inflight`` requests in flight
+  server-wide and ``max_queue_depth`` pipelined per connection; work
+  beyond either limit is *shed* with an immediate ``BUSY`` response
+  (clients retry; an accepted write is never dropped).
+* **Graceful drain** — on SIGINT or a SHUTDOWN op the server stops
+  accepting, answers new requests with ``SHUTTING_DOWN``, finishes
+  everything in flight, drains the group-commit queue, flushes every
+  memtable and only then closes; acknowledged writes are always in
+  the WAL or in flushed runs.
+* **Observability** — per-op wall-clock latency histograms, in-flight
+  and queue-depth gauges, shed/error counters, and a trace span per
+  request; the STATS op exports the lot as JSON over the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.analysis.measured import collect_metrics
+from repro.lsm.entry import TOMBSTONE
+from repro.obs import (
+    NULL_OBS,
+    Observability,
+    WIRE_LATENCY_US_BUCKETS,
+    registry_to_dict,
+)
+from repro.server.group_commit import GroupCommitWriter
+from repro.server.protocol import (
+    KIND_DELETE,
+    Op,
+    ProtocolError,
+    Request,
+    Response,
+    Status,
+    decode_request,
+    encode_response,
+    frame,
+    read_frame,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one serving endpoint.
+
+    Attributes:
+        host: interface to bind.
+        port: TCP port (0 = let the OS pick; see ``ReproServer.port``).
+        max_inflight: server-wide cap on requests being processed;
+            arrivals beyond it are shed with ``BUSY``.
+        max_queue_depth: per-connection cap on pipelined requests in
+            flight; a client pipelining deeper gets ``BUSY`` for the
+            excess.
+        group_commit_batch: most writes coalesced into one
+            ``put_batch`` call.
+        scan_limit: hard cap on pairs returned by one SCAN (a request
+            may ask for less, never more).
+        stats_full_metrics: include the whole metrics registry in
+            STATS responses (the store health block is always there).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 256
+    max_queue_depth: int = 32
+    group_commit_batch: int = 512
+    scan_limit: int = 65536
+    stats_full_metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.scan_limit < 1:
+            raise ValueError(f"scan_limit must be >= 1, got {self.scan_limit}")
+
+
+class _Connection:
+    """Per-connection bookkeeping: the write side and its queue depth."""
+
+    __slots__ = ("writer", "inflight", "lock", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.inflight = 0
+        self.lock = asyncio.Lock()
+        self.closed = False
+
+
+class ReproServer:
+    """Serve one store over TCP until drained."""
+
+    def __init__(
+        self,
+        store,
+        config: ServerConfig | None = None,
+        observability: Observability | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else ServerConfig()
+        self.obs = observability if observability is not None else NULL_OBS
+        self.commit = GroupCommitWriter(
+            store,
+            max_batch=self.config.group_commit_batch,
+            observability=self.obs,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[_Connection] = set()
+        self._inflight = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.port: int | None = None
+        #: Lifetime totals, mirrored into metrics when obs is on.
+        self.requests = 0
+        self.shed = 0
+        self.errors = 0
+        self.bad_frames = 0
+        registry = self.obs.registry
+        self._m_requests = registry.counter(
+            "server_requests_total", "requests accepted for processing"
+        )
+        self._m_shed = registry.counter(
+            "server_shed_total", "requests answered BUSY by admission control"
+        )
+        self._m_errors = registry.counter(
+            "server_errors_total", "requests that failed with ERROR"
+        )
+        self._m_bad_frames = registry.counter(
+            "server_bad_frames_total",
+            "connections errored for malformed frames",
+        )
+        self._m_latency = {
+            op: registry.histogram(
+                f"server_{op.name.lower()}_latency_us",
+                WIRE_LATENCY_US_BUCKETS,
+                f"wall-clock latency of one {op.name} request",
+            )
+            for op in Op
+        }
+        if self.obs.enabled:
+            registry.add_collector(self._collect_gauges)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind, start accepting, and return the bound port."""
+        self.commit.start()
+        self._server = await asyncio.start_server(
+            self._on_connect, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_until_drained(self) -> None:
+        """Block until :meth:`drain` completes (the normal run mode)."""
+        await self._drained.wait()
+
+    async def drain(self, reason: str = "shutdown") -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work,
+        flush the store, close every connection. Idempotent."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # In-flight requests (including writes queued for group commit)
+        # finish normally; new arrivals see SHUTTING_DOWN.
+        await self._idle.wait()
+        await self.commit.close()
+        self.store.flush()
+        for conn in list(self._connections):
+            await self._close_connection(conn)
+        self._drained.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def connections(self) -> int:
+        return len(self._connections)
+
+    def _collect_gauges(self) -> None:
+        registry = self.obs.registry
+        registry.gauge("server_inflight", "requests being processed").set(
+            self._inflight
+        )
+        registry.gauge("server_connections", "open client connections").set(
+            len(self._connections)
+        )
+        registry.gauge(
+            "server_commit_queue_depth", "writes waiting for group commit"
+        ).set(self.commit.queue_depth)
+        registry.gauge(
+            "server_draining", "1 while a graceful drain is in progress"
+        ).set(1.0 if self._draining else 0.0)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    break
+                try:
+                    request = decode_request(payload)
+                except ProtocolError:
+                    # Malformed frame: error THIS connection, keep
+                    # serving everyone else. No response is possible
+                    # (the request id may itself be garbage).
+                    self.bad_frames += 1
+                    self._m_bad_frames.inc()
+                    break
+                await self._dispatch(conn, request)
+        except (ProtocolError, ConnectionResetError, BrokenPipeError):
+            self.bad_frames += 1
+            self._m_bad_frames.inc()
+        finally:
+            self._connections.discard(conn)
+            await self._close_connection(conn)
+
+    async def _close_connection(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _dispatch(self, conn: _Connection, request: Request) -> None:
+        """Admission control, then hand the request to its own task."""
+        if self._draining:
+            await self._respond(
+                conn,
+                Response(
+                    request.request_id, request.op, Status.SHUTTING_DOWN,
+                    message="server is draining",
+                ),
+            )
+            return
+        if (
+            self._inflight >= self.config.max_inflight
+            or conn.inflight >= self.config.max_queue_depth
+        ):
+            # Load shedding: the request was NOT accepted; the client
+            # knows it can safely retry.
+            self.shed += 1
+            self._m_shed.inc()
+            await self._respond(
+                conn,
+                Response(
+                    request.request_id, request.op, Status.BUSY,
+                    message="server overloaded",
+                ),
+            )
+            return
+        self._inflight += 1
+        conn.inflight += 1
+        self._idle.clear()
+        self.requests += 1
+        self._m_requests.inc()
+        asyncio.get_running_loop().create_task(self._serve_one(conn, request))
+
+    async def _serve_one(self, conn: _Connection, request: Request) -> None:
+        # The request stays "in flight" until its response has been
+        # written: drain() waits on that, so an acknowledged write's
+        # ack can never be dropped by a racing shutdown.
+        start = time.perf_counter_ns()
+        try:
+            try:
+                response = await self._execute(request)
+            except Exception as exc:  # noqa: BLE001 — a request must never kill the server
+                self.errors += 1
+                self._m_errors.inc()
+                response = Response(
+                    request.request_id, request.op, Status.ERROR,
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+            self._m_latency[request.op].observe(
+                (time.perf_counter_ns() - start) / 1_000
+            )
+            await self._respond(conn, response)
+        finally:
+            self._inflight -= 1
+            conn.inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    async def _respond(self, conn: _Connection, response: Response) -> None:
+        if conn.closed:
+            return
+        try:
+            async with conn.lock:
+                conn.writer.write(frame(encode_response(response)))
+                await conn.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            await self._close_connection(conn)
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+
+    async def _execute(self, request: Request) -> Response:
+        # Tracing discipline: the tracer's span stack assumes strictly
+        # nested (synchronous) spans, so a span must NEVER be held
+        # across an await — concurrent tasks would interleave on the
+        # stack. Read-path ops are fully synchronous and get a span
+        # around the store call; write-path ops are traced at the
+        # group-commit batch (where the store work actually happens)
+        # plus a zero-duration per-request marker span after the ack.
+        op = request.op
+        rid = request.request_id
+        if op is Op.PING:
+            return Response(rid, op, Status.OK)
+        if op is Op.GET:
+            with self.obs.tracer.span(
+                "serve_get", request_id=rid, key=request.key
+            ):
+                value = self.store.get(request.key)
+            if value is None:
+                return Response(rid, op, Status.NOT_FOUND)
+            return Response(rid, op, Status.OK, value=self._encode_value(value))
+        if op is Op.PUT:
+            await self.commit.submit(
+                request.key, request.value.decode("utf-8", errors="replace")
+            )
+            with self.obs.tracer.span(
+                "serve_put", request_id=rid, key=request.key
+            ):
+                pass
+            return Response(rid, op, Status.OK)
+        if op is Op.DELETE:
+            await self.commit.submit_delete(request.key)
+            with self.obs.tracer.span(
+                "serve_delete", request_id=rid, key=request.key
+            ):
+                pass
+            return Response(rid, op, Status.OK)
+        if op is Op.BATCH:
+            items = [
+                (
+                    key,
+                    TOMBSTONE
+                    if kind == KIND_DELETE
+                    else value.decode("utf-8", errors="replace"),
+                )
+                for kind, key, value in request.items
+            ]
+            # One submission: the items stay contiguous in the commit
+            # queue, so a batch no larger than group_commit_batch lands
+            # in a single crash-atomic put_batch call.
+            await self.commit.submit_many(items)
+            with self.obs.tracer.span(
+                "serve_batch", request_id=rid, size=len(items)
+            ):
+                pass
+            return Response(rid, op, Status.OK, count=len(request.items))
+        if op is Op.SCAN:
+            limit = min(
+                request.limit or self.config.scan_limit, self.config.scan_limit
+            )
+            pairs = []
+            with self.obs.tracer.span(
+                "serve_scan", request_id=rid, lo=request.lo, hi=request.hi
+            ):
+                for key, value in self.store.scan(request.lo, request.hi):
+                    pairs.append((key, self._encode_value(value)))
+                    if len(pairs) >= limit:
+                        break
+            return Response(rid, op, Status.OK, pairs=tuple(pairs))
+        if op is Op.STATS:
+            with self.obs.tracer.span("serve_stats", request_id=rid):
+                payload = json.dumps(self.stats(), sort_keys=True)
+            return Response(rid, op, Status.OK, value=payload.encode("utf-8"))
+        # SHUTDOWN: acknowledge, then drain in the background so the
+        # response still reaches the requester.
+        asyncio.get_running_loop().create_task(self.drain("SHUTDOWN op"))
+        return Response(rid, op, Status.OK)
+
+    @staticmethod
+    def _encode_value(value) -> bytes:
+        if isinstance(value, bytes):
+            return value
+        return str(value).encode("utf-8")
+
+    def stats(self) -> dict:
+        """The STATS payload: server counters plus a cheap (``fast``)
+        store health block; the full metrics registry rides along when
+        ``stats_full_metrics`` is set."""
+        store_block = collect_metrics(self.store, fast=True).as_dict()
+        store_block["num_entries"] = self.store.num_entries
+        store_block["wal_batch_records"] = self.store.wal_batch_records
+        out = {
+            "server": {
+                "requests": self.requests,
+                "shed": self.shed,
+                "errors": self.errors,
+                "bad_frames": self.bad_frames,
+                "inflight": self._inflight,
+                "connections": len(self._connections),
+                "draining": self._draining,
+                "commit_batches": self.commit.batches,
+                "commit_items": self.commit.items,
+                "commit_queue_depth": self.commit.queue_depth,
+            },
+            "store": store_block,
+        }
+        if self.config.stats_full_metrics and self.obs.enabled:
+            out["metrics"] = registry_to_dict(self.obs.registry)
+        return out

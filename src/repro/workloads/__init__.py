@@ -1,10 +1,12 @@
 """Workload generation: key spaces, uniform and Zipfian access patterns,
-the YCSB-B mix of the paper's throughput experiment, and bulk loaders
-that drive a store (or bare tree) into a target state."""
+the YCSB-B mix of the paper's throughput experiment, bulk loaders that
+drive a store (or bare tree) into a target state, and the unified
+request stream the serving layer's load generator replays."""
 
 from repro.workloads.generators import (
     UniformGenerator,
     ZipfianGenerator,
+    request_stream,
     ycsb_b,
 )
 from repro.workloads.generators import zipf_over
@@ -21,6 +23,7 @@ __all__ = [
     "fill_tree_to_levels",
     "negative_keys",
     "populate_store",
+    "request_stream",
     "sublevel_sample_keys",
     "ycsb_b",
     "zipf_over",

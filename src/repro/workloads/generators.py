@@ -99,6 +99,49 @@ def ycsb_b(
         yield op, next(stream)
 
 
+def request_stream(
+    kind: str,
+    keys: list[int],
+    num_ops: int,
+    read_fraction: float = 0.95,
+    theta: float = 0.99,
+    seed: int = 0,
+) -> Iterator[tuple[str, int]]:
+    """A finite stream of ``('read'|'update', key)`` requests.
+
+    One entry point for everything that *drives* a store — the serving
+    layer's load generator most of all — over the repo's access
+    patterns:
+
+    * ``'uniform'`` — uniform key draws, ``read_fraction`` reads;
+    * ``'zipf'``    — Zipfian(theta) keys (shuffled heat order, see
+      :func:`zipf_over`), ``read_fraction`` reads;
+    * ``'ycsb-b'``  — the paper's Figure 14 H mix: 95%/5% skewed
+      reads/updates (``read_fraction`` and ``theta`` still apply).
+    """
+    if kind == "ycsb-b":
+        yield from ycsb_b(
+            keys, num_ops, read_fraction=read_fraction, theta=theta, seed=seed
+        )
+        return
+    if kind == "uniform":
+        gen = UniformGenerator(keys, seed=seed)
+        draw = gen.next
+    elif kind == "zipf":
+        stream = zipf_over(keys, theta=theta, seed=seed)
+        draw = lambda: next(stream)  # noqa: E731
+    else:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; want uniform|zipf|ycsb-b"
+        )
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+    rng = random.Random(seed ^ 0x51EADED)
+    for _ in range(num_ops):
+        op = "read" if rng.random() < read_fraction else "update"
+        yield op, draw()
+
+
 def zipf_pmf_checksum(num_items: int, theta: float = 0.99) -> float:
     """Sum of the rank pmf (should be ~1; exposed for tests)."""
     zetan = sum(1.0 / (i + 1) ** theta for i in range(num_items))

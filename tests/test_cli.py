@@ -124,3 +124,70 @@ class TestSharded:
         for line in lines:
             span = json.loads(line)
             assert span["attrs"]["shard"] in (0, 1)
+
+
+class TestServeLoadgen:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 7411)
+        assert (args.shards, args.max_inflight, args.queue_depth,
+                args.commit_batch) == (1, 256, 32, 512)
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert (args.connections, args.ops, args.workload) == (8, 5000, "ycsb-b")
+        assert args.out == "BENCH_serve.json"
+
+    def test_serve_then_loadgen_end_to_end(self, tmp_path, capsys):
+        """`repro serve` in a thread, `repro loadgen` against it: zero
+        errors and a well-formed BENCH_serve.json artifact."""
+        import socket
+        import threading
+        import time
+
+        from repro.server import SyncClient
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        server_thread = threading.Thread(
+            target=main,
+            args=(["serve", "--port", str(port), "--shards", "2",
+                   "--buffer", "64", "-t", "3"],),
+            daemon=True,
+        )
+        server_thread.start()
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                socket.create_connection(("127.0.0.1", port), 0.2).close()
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["loadgen", "--port", str(port), "--ops", "400",
+             "--connections", "4", "--key-space", "150",
+             "--workload", "ycsb-b", "--out", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "0 errors" in printed
+
+        summary = json.loads(out.read_text())
+        assert summary["bench"] == "serve"
+        assert summary["total_ops"] == 400
+        assert summary["errors"] == 0
+        assert summary["throughput_ops_per_s"] > 0
+        assert set(summary["latency_us"]) == {"all", "read", "update"}
+        assert summary["latency_us"]["all"]["p99_us"] >= \
+            summary["latency_us"]["all"]["p50_us"]
+
+        with SyncClient("127.0.0.1", port) as client:
+            client.shutdown()
+        server_thread.join(timeout=10)
+        assert not server_thread.is_alive()

@@ -29,4 +29,6 @@ def test_examples_exist():
         "tuning_explorer",
         "crash_recovery",
         "store_recovery",
+        "sharded_store",
+        "server_quickstart",
     } <= names

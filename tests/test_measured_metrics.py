@@ -1,10 +1,12 @@
 """Measured store metrics (write/space amplification and friends)."""
 
+import json
 import random
 
 import pytest
 
 from repro.analysis.measured import (
+    StoreMetrics,
     collect_metrics,
     measured_space_amplification,
     measured_write_amplification,
@@ -88,3 +90,63 @@ class TestMetrics:
             "filter_bits_per_entry",
             "blocks_in_storage",
         }
+
+
+class TestFastMode:
+    """collect_metrics(fast=True): the serving hot path's variant —
+    skips the O(N) liveness scan, marks the skipped fields None."""
+
+    def test_skipped_fields_are_none(self):
+        kv = driven_store(leveling(3, buffer_entries=8, block_entries=4))
+        m = collect_metrics(kv, fast=True)
+        assert m.live_entries is None
+        assert m.space_amplification is None
+
+    def test_cheap_fields_match_full_mode(self):
+        kv = driven_store(leveling(3, buffer_entries=8, block_entries=4))
+        kv.flush()
+        fast = collect_metrics(kv, fast=True)
+        full = collect_metrics(kv)
+        assert fast.num_levels == full.num_levels
+        assert fast.num_runs == full.num_runs
+        assert fast.stored_entries == full.stored_entries
+        assert fast.write_amplification == full.write_amplification
+        assert fast.filter_bits_per_entry == full.filter_bits_per_entry
+        assert fast.blocks_in_storage == full.blocks_in_storage
+
+    def test_fast_mode_reads_nothing(self):
+        kv = driven_store(leveling(3, buffer_entries=8, block_entries=4))
+        before = kv.counters.storage.reads
+        collect_metrics(kv, fast=True)
+        assert kv.counters.storage.reads == before
+
+    def test_space_amp_helper_always_runs_full(self):
+        kv = driven_store(leveling(3, buffer_entries=8, block_entries=4))
+        # the helper never returns the fast-mode None
+        assert measured_space_amplification(kv) >= 1.0
+
+
+class TestJsonRoundTrip:
+    """Satellite of the serving layer: metrics and I/O snapshots must
+    survive json.dumps/loads byte-exactly — they ride the STATS op."""
+
+    def test_store_metrics_full(self):
+        kv = driven_store(leveling(3, buffer_entries=8, block_entries=4))
+        m = collect_metrics(kv)
+        assert StoreMetrics.from_dict(json.loads(json.dumps(m.as_dict()))) == m
+
+    def test_store_metrics_fast_with_nulls(self):
+        kv = driven_store(leveling(3, buffer_entries=8, block_entries=4))
+        m = collect_metrics(kv, fast=True)
+        wire = json.dumps(m.as_dict())
+        assert '"live_entries": null' in wire
+        assert StoreMetrics.from_dict(json.loads(wire)) == m
+
+    def test_io_snapshot(self):
+        kv = driven_store(leveling(3, buffer_entries=8, block_entries=4))
+        for key in range(50):
+            kv.get(key)
+        snap = kv.snapshot()
+        restored = type(snap).from_dict(json.loads(json.dumps(snap.as_dict())))
+        assert restored == snap
+        assert restored.cache_hit_ratio == snap.cache_hit_ratio

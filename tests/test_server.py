@@ -1,0 +1,450 @@
+"""The serving layer end to end: clients against a live in-process
+server, group commit, admission control, drain, and crash recovery.
+
+No pytest-asyncio in the toolchain — every test drives its own event
+loop with ``asyncio.run`` and binds port 0 so runs never collide.
+"""
+
+import asyncio
+import queue
+import random
+import struct
+import threading
+
+import pytest
+
+from repro.engine import EngineConfig, build_store, recover_store
+from repro.obs import Observability, registry_to_dict
+from repro.server import (
+    AsyncClient,
+    Op,
+    ReproServer,
+    Request,
+    ServerBusy,
+    ServerConfig,
+    Status,
+    SyncClient,
+)
+
+HOST = "127.0.0.1"
+
+
+def small_config(**overrides):
+    fields = dict(
+        size_ratio=3, buffer_entries=16, block_entries=4, shards=4,
+        durable=True,
+    )
+    fields.update(overrides)
+    return EngineConfig(**fields)
+
+
+async def start_server(cfg=None, server_config=None, obs=None):
+    store = build_store(cfg or small_config(), obs)
+    server = ReproServer(store, server_config, observability=obs)
+    port = await server.start()
+    return server, store, port
+
+
+class TestBasicOps:
+    def test_put_get_delete_scan_over_tcp(self):
+        async def main():
+            server, store, port = await start_server()
+            client = await AsyncClient.connect(HOST, port)
+            await client.ping()
+            assert await client.get(1) is None
+            await client.put(1, "one")
+            await client.put(2, b"two")
+            assert await client.get(1) == b"one"
+            assert await client.get(2) == b"two"
+            await client.delete(1)
+            assert await client.get(1) is None
+            applied = await client.put_batch(
+                [(10, "ten"), (11, "eleven"), (2, None)]
+            )
+            assert applied == 3
+            assert await client.get(2) is None
+            assert await client.scan(0, 100) == [
+                (10, b"ten"), (11, b"eleven")
+            ]
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_scan_respects_limit(self):
+        async def main():
+            server, store, port = await start_server(
+                server_config=ServerConfig(scan_limit=5)
+            )
+            client = await AsyncClient.connect(HOST, port)
+            await client.put_batch([(k, f"v{k}") for k in range(20)])
+            assert len(await client.scan(0, 100)) == 5  # server-side cap
+            assert len(await client.scan(0, 100, limit=3)) == 3
+            assert len(await client.scan(0, 100, limit=50)) == 5
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_stats_payload_shape(self):
+        async def main():
+            server, store, port = await start_server()
+            client = await AsyncClient.connect(HOST, port)
+            await client.put(5, "five")
+            stats = await client.stats()
+            assert stats["server"]["requests"] >= 2
+            assert stats["server"]["shed"] == 0
+            assert stats["server"]["errors"] == 0
+            # fast collection skips the O(N) liveness scan
+            assert stats["store"]["live_entries"] is None
+            assert stats["store"]["space_amplification"] is None
+            assert stats["store"]["num_entries"] == 1
+            assert stats["store"]["wal_batch_records"] >= 1
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_pipelined_responses_match_by_request_id(self):
+        async def main():
+            server, store, port = await start_server(
+                server_config=ServerConfig(max_queue_depth=64)
+            )
+            client = await AsyncClient.connect(HOST, port)
+            await asyncio.gather(
+                *(client.put(k, f"v{k}") for k in range(40))
+            )
+            values = await asyncio.gather(
+                *(client.get(k) for k in range(40))
+            )
+            assert values == [f"v{k}".encode() for k in range(40)]
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+
+class TestSyncClient:
+    def test_blocking_client_over_real_socket(self):
+        """SyncClient lives in the main thread; the server loop runs in
+        a worker thread — the shape scripts and examples use."""
+        ports: queue.Queue = queue.Queue()
+
+        def serve():
+            async def main():
+                server, store, port = await start_server()
+                ports.put(port)
+                await server.serve_until_drained()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        port = ports.get(timeout=10)
+        with SyncClient(HOST, port) as client:
+            client.ping()
+            client.put(7, "seven")
+            assert client.get(7) == b"seven"
+            assert client.get(8) is None
+            client.put_batch([(8, "eight"), (9, "nine")])
+            assert client.scan(7, 9) == [
+                (7, b"seven"), (8, b"eight"), (9, b"nine")
+            ]
+            client.delete(8)
+            assert client.get(8) is None
+            assert client.stats()["server"]["errors"] == 0
+            client.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestConcurrentEquivalence:
+    def test_matches_single_threaded_sharded_store(self):
+        """N pipelined connections mutating disjoint key ranges end in
+        exactly the state a bare ShardedKVStore reaches replaying the
+        same streams — the event loop serializes, nothing is lost."""
+        clients, ops_per_client, span = 6, 150, 10_000
+
+        def ops_for(idx):
+            rng = random.Random(1000 + idx)
+            base = idx * span
+            out = []
+            for i in range(ops_per_client):
+                key = base + rng.randrange(200)
+                if rng.random() < 0.15:
+                    out.append(("delete", key, None))
+                else:
+                    out.append(("put", key, f"c{idx}v{i}"))
+            return out
+
+        async def main():
+            server, store, port = await start_server(
+                server_config=ServerConfig(max_queue_depth=64)
+            )
+
+            async def worker(idx):
+                client = await AsyncClient.connect(HOST, port)
+                for op, key, value in ops_for(idx):
+                    if op == "delete":
+                        await client.delete(key)
+                    else:
+                        await client.put(key, value)
+                await client.close()
+
+            await asyncio.gather(*(worker(i) for i in range(clients)))
+            probe = await AsyncClient.connect(HOST, port)
+            scanned = await probe.scan(0, clients * span)
+            await probe.close()
+            await server.drain()
+            return store, scanned
+
+        store, scanned = asyncio.run(main())
+
+        reference = build_store(small_config())
+        for idx in range(clients):
+            for op, key, value in ops_for(idx):
+                if op == "delete":
+                    reference.delete(key)
+                else:
+                    reference.put(key, value)
+
+        expected = list(reference.scan(0, clients * span))
+        assert [(k, v.encode()) for k, v in expected] == scanned
+        for key, value in expected:
+            assert store.get(key) == value
+
+
+class TestGroupCommit:
+    def test_wal_batch_records_far_fewer_than_puts(self):
+        """The acceptance criterion: under concurrency the WAL sees
+        strictly fewer batch records than logical PUTs."""
+        puts = 400
+
+        async def main():
+            server, store, port = await start_server(
+                server_config=ServerConfig(
+                    max_inflight=1024, max_queue_depth=1024
+                )
+            )
+            client = await AsyncClient.connect(HOST, port)
+            await asyncio.gather(
+                *(client.put(k, f"v{k}") for k in range(puts))
+            )
+            batches = server.commit.batches
+            records = store.wal_batch_records
+            await client.close()
+            await server.drain()
+            return store, batches, records
+
+        store, batches, records = asyncio.run(main())
+        assert server_side_total(store) == puts
+        assert batches < puts
+        assert records < puts
+        assert batches >= 1
+
+    def test_client_batch_is_one_commit_group(self):
+        async def main():
+            server, store, port = await start_server()
+            client = await AsyncClient.connect(HOST, port)
+            await client.put_batch([(k, f"v{k}") for k in range(100)])
+            assert server.commit.batches == 1
+            assert server.commit.items == 100
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+
+def server_side_total(store):
+    return store.num_entries
+
+
+class TestRobustness:
+    def test_malformed_frame_errors_connection_not_server(self):
+        async def main():
+            server, store, port = await start_server()
+            # A well-framed payload with a garbage opcode…
+            reader, writer = await asyncio.open_connection(HOST, port)
+            bad = struct.pack(">QB", 1, 250)
+            writer.write(struct.pack(">I", len(bad)) + bad)
+            await writer.drain()
+            assert await reader.read() == b""  # server closed us
+            writer.close()
+            # …and an oversized length prefix.
+            reader, writer = await asyncio.open_connection(HOST, port)
+            writer.write(struct.pack(">I", 1 << 30))
+            await writer.drain()
+            assert await reader.read() == b""
+            writer.close()
+            assert server.bad_frames == 2
+            # The server itself is fine: a fresh client works.
+            client = await AsyncClient.connect(HOST, port)
+            await client.put(1, "survived")
+            assert await client.get(1) == b"survived"
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_request_error_is_an_ERROR_response_not_a_crash(self):
+        async def main():
+            server, store, port = await start_server()
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("injected")
+
+            store.get = boom
+            client = await AsyncClient.connect(HOST, port)
+            resp = await client.request(Request(99, Op.GET, key=1))
+            assert resp.status is Status.ERROR
+            assert "injected" in resp.message
+            assert server.errors == 1
+            await client.ping()  # connection and server still alive
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+
+class TestOverload:
+    def test_burst_beyond_limits_is_shed_not_deadlocked(self):
+        """Tiny admission limits + a deep pipelined burst: the excess
+        gets BUSY, nothing hangs, and every acknowledged write is in
+        the store."""
+        burst = 64
+
+        async def main():
+            server, store, port = await start_server(
+                server_config=ServerConfig(max_inflight=4, max_queue_depth=2)
+            )
+            client = await AsyncClient.connect(HOST, port)
+            responses = await asyncio.wait_for(
+                asyncio.gather(
+                    *(
+                        client.request(
+                            Request(i + 1, Op.PUT, key=i, value=b"v")
+                        )
+                        for i in range(burst)
+                    )
+                ),
+                timeout=30,
+            )
+            ok = [r for r in responses if r.status is Status.OK]
+            busy = [r for r in responses if r.status is Status.BUSY]
+            assert len(ok) + len(busy) == burst
+            assert busy, "burst above the limits must shed"
+            assert ok, "admitted requests must complete"
+            assert server.shed == len(busy)
+            # every acknowledged write landed; shed writes never did
+            acked = {r.request_id - 1 for r in ok}
+            for key in acked:
+                assert store.get(key) == "v"
+            assert store.num_entries == len(acked)
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_typed_client_raises_ServerBusy(self):
+        async def main():
+            server, store, port = await start_server(
+                server_config=ServerConfig(max_inflight=1, max_queue_depth=1)
+            )
+            client = await AsyncClient.connect(HOST, port)
+            results = await asyncio.gather(
+                *(client.put(k, "v") for k in range(16)),
+                return_exceptions=True,
+            )
+            assert any(isinstance(r, ServerBusy) for r in results)
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+
+class TestDrainAndRecovery:
+    def test_acked_writes_survive_crash_without_drain(self):
+        """Kill-while-loaded: every acknowledged PUT is in the WAL (or
+        flushed) the moment its response exists — crash the store with
+        no flush and recover all of them."""
+        cfg = small_config()
+
+        async def main():
+            server, store, port = await start_server(cfg=cfg)
+
+            async def worker(idx):
+                client = await AsyncClient.connect(HOST, port)
+                for i in range(60):
+                    await client.put(idx * 1000 + i, f"w{idx}.{i}")
+                await client.close()
+
+            await asyncio.gather(*(worker(i) for i in range(5)))
+            return store.crash()  # no drain, no flush
+
+        state = asyncio.run(main())
+        recovered = recover_store(state, cfg)
+        for idx in range(5):
+            for i in range(60):
+                assert recovered.get(idx * 1000 + i) == f"w{idx}.{i}"
+
+    def test_shutdown_op_drains_and_store_recovers(self):
+        cfg = small_config()
+
+        async def main():
+            server, store, port = await start_server(cfg=cfg)
+            client = await AsyncClient.connect(HOST, port)
+            for k in range(50):
+                await client.put(k, f"v{k}")
+            await client.shutdown()
+            await server.serve_until_drained()
+            assert server.draining
+            await client.close()
+            return store.crash()
+
+        state = asyncio.run(main())
+        recovered = recover_store(state, cfg)
+        for k in range(50):
+            assert recovered.get(k) == f"v{k}"
+
+    def test_drain_rejects_new_work_with_shutting_down(self):
+        async def main():
+            server, store, port = await start_server()
+            client = await AsyncClient.connect(HOST, port)
+            await client.put(1, "v")
+            drain_task = asyncio.get_running_loop().create_task(
+                server.drain()
+            )
+            await asyncio.sleep(0)  # let drain flip the flag
+            resp = await client.request(Request(42, Op.GET, key=1))
+            assert resp.status is Status.SHUTTING_DOWN
+            await drain_task
+            await client.close()
+
+        asyncio.run(main())
+
+
+class TestObservability:
+    def test_metrics_and_spans_recorded(self):
+        async def main():
+            obs = Observability()
+            server, store, port = await start_server(
+                obs=obs,
+                server_config=ServerConfig(stats_full_metrics=True),
+            )
+            client = await AsyncClient.connect(HOST, port)
+            await client.put(1, "one")
+            await client.get(1)
+            stats = await client.stats()
+            assert "metrics" in stats
+            await client.close()
+            await server.drain()
+            dump = registry_to_dict(obs.registry)
+            assert dump["counters"]["server_requests_total"] == 3
+            assert dump["counters"]["server_commit_batches_total"] >= 1
+            assert dump["counters"]["server_commit_items_total"] == 1
+            assert dump["histograms"]["server_put_latency_us"]["count"] == 1
+            assert dump["histograms"]["server_get_latency_us"]["count"] == 1
+            names = {span.name for span in obs.tracer.recent()}
+            assert {"serve_get", "serve_put", "group_commit"} <= names
+
+        asyncio.run(main())

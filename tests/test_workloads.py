@@ -9,6 +9,7 @@ from repro.engine import EngineConfig, build_store
 from repro.workloads.generators import (
     UniformGenerator,
     ZipfianGenerator,
+    request_stream,
     ycsb_b,
     zipf_over,
     zipf_pmf_checksum,
@@ -89,6 +90,52 @@ class TestYcsbB:
     def test_bad_fraction(self):
         with pytest.raises(ValueError):
             list(ycsb_b([1], 10, read_fraction=2.0))
+
+
+class TestRequestStream:
+    """The unified entry point the serving layer's loadgen replays."""
+
+    KEYS = list(range(200))
+
+    def test_every_kind_yields_valid_ops(self):
+        for kind in ("uniform", "zipf", "ycsb-b"):
+            ops = list(request_stream(kind, self.KEYS, 500, seed=3))
+            assert len(ops) == 500
+            assert {op for op, _ in ops} <= {"read", "update"}
+            assert all(key in range(200) for _, key in ops)
+
+    def test_deterministic_per_seed(self):
+        for kind in ("uniform", "zipf", "ycsb-b"):
+            a = list(request_stream(kind, self.KEYS, 300, seed=7))
+            b = list(request_stream(kind, self.KEYS, 300, seed=7))
+            c = list(request_stream(kind, self.KEYS, 300, seed=8))
+            assert a == b
+            assert a != c
+
+    def test_read_fraction_respected(self):
+        ops = list(
+            request_stream("uniform", self.KEYS, 20000, read_fraction=0.8)
+        )
+        reads = sum(1 for op, _ in ops if op == "read")
+        assert reads / len(ops) == pytest.approx(0.8, abs=0.01)
+
+    def test_zipf_is_skewed_uniform_is_not(self):
+        def head_mass(kind):
+            ops = list(
+                request_stream(kind, self.KEYS, 20000, theta=0.99, seed=1)
+            )
+            counts = Counter(key for _, key in ops)
+            return sum(n for _, n in counts.most_common(10)) / len(ops)
+
+        assert head_mass("zipf") > 2 * head_mass("uniform")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            list(request_stream("hotspot", self.KEYS, 10))
+
+    def test_bad_read_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            list(request_stream("uniform", self.KEYS, 10, read_fraction=1.5))
 
 
 class TestLoaders:
