@@ -17,6 +17,10 @@ Eight commands for poking at the system without writing code:
   protocol, group commit, BUSY backpressure, graceful drain on SIGINT
 * ``loadgen``   — drive a running server closed-loop over N
   connections and write the ``BENCH_serve.json`` latency artifact
+* ``faultcheck``— explore seeded crash schedules (torn WAL tails,
+  partial run writes, crashes at every registered commit point) and
+  verify the recovery invariants after each one; exits non-zero on
+  any violation
 """
 
 from __future__ import annotations
@@ -328,6 +332,43 @@ def cmd_loadgen(args) -> int:
     return 1 if summary["errors"] else 0
 
 
+def cmd_faultcheck(args) -> int:
+    from repro.faults.harness import FaultcheckConfig, run_faultcheck
+
+    cfg = FaultcheckConfig(
+        seeds=args.seeds,
+        shards=args.shards,
+        preset=args.preset,
+        policy=args.policy,
+        ops=args.ops,
+        schedules_per_seed=args.schedules_per_seed,
+        transient_rate=args.transient_rate,
+        group_commit=not args.no_group_commit,
+    )
+    print(
+        f"faultcheck: {cfg.seeds} seeds x "
+        f"(1 trace + {cfg.schedules_per_seed} crash schedules"
+        f"{' + 1 group-commit schedule' if cfg.group_commit else ''}), "
+        f"preset={cfg.preset} policy={cfg.policy} shards={cfg.shards} "
+        f"ops={cfg.ops} transient_rate={cfg.transient_rate:g}",
+        flush=True,
+    )
+    report = run_faultcheck(cfg)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}", file=sys.stderr)
+    if args.report:
+        try:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report.as_dict(), fh, indent=2, default=repr)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write {args.report}: {exc}", file=sys.stderr)
+            return 1
+        print(f"schedule report written to {args.report}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -423,6 +464,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--out", metavar="FILE", default="BENCH_serve.json",
                       help="latency/throughput artifact path")
     p_lg.set_defaults(func=cmd_loadgen)
+
+    p_fc = sub.add_parser(
+        "faultcheck",
+        help="explore crash schedules and check recovery invariants",
+    )
+    p_fc.add_argument("--seeds", type=int, default=20,
+                      help="independent workload seeds to explore")
+    p_fc.add_argument("--shards", type=int, default=1,
+                      help="hash-shard the store N ways")
+    p_fc.add_argument("--preset", choices=("leveled", "tiered", "lazy"),
+                      default="leveled",
+                      help="merge-policy preset of the store under test")
+    p_fc.add_argument("--policy", choices=available_policies(),
+                      default="chucky")
+    p_fc.add_argument("--ops", type=int, default=40,
+                      help="operations per seeded workload")
+    p_fc.add_argument("--schedules-per-seed", type=int, default=3,
+                      help="crash schedules explored per seed (on top of "
+                           "the no-crash trace run)")
+    p_fc.add_argument("--transient-rate", type=float, default=0.05,
+                      help="per-I/O probability of an injected transient "
+                           "error (absorbed by retry-with-backoff)")
+    p_fc.add_argument("--no-group-commit", action="store_true",
+                      help="skip the per-seed asyncio group-commit schedule")
+    p_fc.add_argument("--report", metavar="FILE", default=None,
+                      help="write the full schedule report as JSON")
+    p_fc.set_defaults(func=cmd_faultcheck)
     return parser
 
 

@@ -20,3 +20,17 @@ class CodebookError(ReproError):
     """A codebook could not be constructed for the requested geometry
     (e.g. the memory budget is too small to represent all combinations
     uniquely, violating 2^B >= |C|)."""
+
+
+class TransientIOError(ReproError):
+    """A storage I/O failed in a way that is expected to clear on retry
+    (the simulated analogue of a device hiccup). The storage layer
+    absorbs these with bounded retry-with-backoff; one that persists
+    past the retry budget escapes to the caller."""
+
+
+class InjectedCrash(ReproError):
+    """A simulated machine crash raised by the fault-injection harness
+    at a registered crash point (or mid-write, for torn WAL appends and
+    partial run writes). Everything in memory at that moment is
+    considered lost; only ``CrashState`` survives."""

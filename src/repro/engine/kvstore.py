@@ -21,6 +21,7 @@ from typing import Any, Iterator
 
 from repro.common.cost import CostModel, LatencyBreakdown
 from repro.common.counters import IOCounters
+from repro.faults.crashpoints import crash_point
 from repro.filters.policy import FilterPolicy, NoFilterPolicy
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.config import LSMConfig
@@ -246,6 +247,7 @@ class KVStore:
         self._seqno += 1
         if self.wal is not None:
             self.wal.append_put(key, value, self._seqno)
+            crash_point("kvstore.put.after_wal")
         self.memtable.put(key, value, self._seqno)
         self.updates += 1
 
@@ -266,6 +268,7 @@ class KVStore:
         self._seqno += 1
         if self.wal is not None:
             self.wal.append_delete(key, self._seqno)
+            crash_point("kvstore.delete.after_wal")
         self.memtable.delete(key, self._seqno)
         self.updates += 1
 
@@ -305,6 +308,7 @@ class KVStore:
             stamped.append((key, value, self._seqno))
         if self.wal is not None:
             self.wal.append_batch(stamped)
+            crash_point("kvstore.batch.after_wal")
         for key, value, seqno in stamped:
             self.memtable.put(key, value, seqno)
         self.updates += len(group)
@@ -326,6 +330,10 @@ class KVStore:
             self.policy.after_write()
             if self.wal is not None:
                 # The buffered writes are now durable in storage runs.
+                # A crash before the truncate replays them from the WAL
+                # on top of the flushed runs — idempotent, since the
+                # replayed versions carry the same seqnos.
+                crash_point("kvstore.flush.before_wal_truncate")
                 self.wal.truncate()
 
     # ------------------------------------------------------------------
@@ -343,12 +351,26 @@ class KVStore:
         if self.wal is None:
             raise RuntimeError("crash/recovery requires KVStore(durable=True)")
         blob = None
+        # The persisted fingerprints are only trustworthy when the tree
+        # is at a committed state: mid-cascade the live filter already
+        # reflects in-flight merge events, while recovery reopens the
+        # *committed* (pre-cascade) manifest — restoring that blob would
+        # point keys at sub-levels they no longer occupy (false
+        # negatives, stale reads). In that case recovery falls back to
+        # rebuilding the filter from the recovered runs.
+        mid_cascade = (
+            self.tree._pending_free
+            or self.tree.manifest() != self.tree.committed_manifest()
+        )
         persist = getattr(getattr(self.policy, "filter", None), "persist", None)
-        if callable(persist):
+        if callable(persist) and not mid_cascade:
             blob = persist()
         return CrashState(
             storage=self.tree.storage,
-            manifest=self.tree.manifest(),
+            # The *committed* manifest: a crash mid-cascade must recover
+            # from the last durable tree shape, whose runs the deferred
+            # storage reclamation guarantees are still on the device.
+            manifest=self.tree.committed_manifest(),
             wal_data=bytes(self.wal.data),
             filter_blob=blob,
         )
@@ -372,6 +394,14 @@ class KVStore:
         """
         counters = IOCounters()
         state.storage.counter = counters.storage
+        # GC orphan runs: a crash mid-cascade (after a new run was built
+        # but before the manifest committed) or mid-run-write leaves
+        # runs on the device that no manifest references. Reclaim them
+        # now, or every crash permanently leaks their space.
+        referenced = {m.run_id for m in state.manifest}
+        for run_id in state.storage.run_ids():
+            if run_id not in referenced:
+                state.storage.delete_run(run_id)
         cache = BlockCache(cache_blocks) if cache_blocks > 0 else None
         tree = LSMTree.from_manifest(
             config, state.storage, state.manifest, counters=counters, cache=cache

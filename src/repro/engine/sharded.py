@@ -31,6 +31,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.common.cost import CostModel, LatencyBreakdown
 from repro.common.hashing import key_digest
+from repro.faults.crashpoints import crash_point
 from repro.engine.kvstore import CrashState, IOSnapshot, KVStore, ReadResult
 from repro.filters.policy import FilterPolicy
 from repro.lsm.config import LSMConfig
@@ -138,7 +139,12 @@ class ShardedKVStore:
         num = len(self.shards)
         for key, value in items:
             groups.setdefault(shard_of(key, num), []).append((key, value))
-        for index in sorted(groups):
+        for position, index in enumerate(sorted(groups)):
+            if position:
+                # Atomicity is per shard: a crash here leaves earlier
+                # shards' groups durable and later ones absent — legal,
+                # because the batch has not been acknowledged yet.
+                crash_point("sharded.batch.between_shards")
             self.shards[index].put_batch(groups[index])
 
     def flush(self) -> None:

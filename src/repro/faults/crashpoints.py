@@ -1,0 +1,109 @@
+"""Crash-point registry: named places where a simulated machine dies.
+
+Engine code calls :func:`crash_point` at every interesting moment of a
+write's lifetime (after the WAL append but before the memtable insert,
+mid-merge, between group-commit apply and ack, ...). With no arbiter
+installed the call is a single ``is None`` check — the production path
+pays nothing and counted I/Os stay bit-identical. The fault-injection
+harness installs a :class:`FaultInjector` via :func:`activated`; when
+the injector's plan matches a firing point, it raises
+:class:`~repro.common.errors.InjectedCrash` and the harness captures
+what a real crash would leave behind.
+
+This module deliberately imports nothing from the engine so that every
+layer (lsm, engine, server) can instrument itself without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Protocol
+
+from repro.common.errors import InjectedCrash, TransientIOError
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashPointArbiter",
+    "InjectedCrash",
+    "TransientIOError",
+    "activated",
+    "crash_point",
+]
+
+#: Every registered crash point, with what an injected crash there
+#: simulates. Kept in one place so the CLI and docs can enumerate them.
+CRASH_POINTS: dict[str, str] = {
+    "kvstore.put.after_wal": (
+        "die after a put's WAL append, before the memtable insert"
+    ),
+    "kvstore.delete.after_wal": (
+        "die after a delete's WAL append, before the tombstone insert"
+    ),
+    "kvstore.batch.after_wal": (
+        "die after a batch's single WAL record, before any memtable insert"
+    ),
+    "kvstore.flush.before_wal_truncate": (
+        "die after the flush reached storage but before the WAL was "
+        "truncated (replay must be idempotent)"
+    ),
+    "tree.emplace.before_build": (
+        "die mid-flush, before the new run's blocks are written"
+    ),
+    "tree.merge.before_build": (
+        "die mid-merge, after reading the inputs but before writing the "
+        "output run"
+    ),
+    "tree.merge.after_build": (
+        "die mid-merge, after the output run is written but before the "
+        "cascade commits"
+    ),
+    "tree.spill.before_place": (
+        "die mid-cascade, between emptying a level and placing its data "
+        "one level down"
+    ),
+    "tree.flush.before_commit": (
+        "die after the whole cascade, before obsolete runs are freed and "
+        "the manifest commits"
+    ),
+    "sharded.batch.between_shards": (
+        "die between two shards' batch applications (per-shard atomicity "
+        "only; the batch is not acked yet)"
+    ),
+    "group_commit.before_apply": (
+        "die after a group formed but before its put_batch ran"
+    ),
+    "group_commit.before_ack": (
+        "die after the group's WAL append/apply but before any waiter "
+        "was acknowledged"
+    ),
+}
+
+
+class CrashPointArbiter(Protocol):
+    """Anything that can decide a crash point's fate (the injector)."""
+
+    def on_crash_point(self, name: str) -> None:  # pragma: no cover
+        """Called at each firing; raise InjectedCrash to crash there."""
+        ...
+
+
+_active: CrashPointArbiter | None = None
+
+
+def crash_point(name: str) -> None:
+    """Fire the named crash point (no-op unless an arbiter is active)."""
+    if _active is not None:
+        _active.on_crash_point(name)
+
+
+@contextmanager
+def activated(arbiter: CrashPointArbiter) -> Iterator[CrashPointArbiter]:
+    """Install ``arbiter`` as the process-wide crash-point listener for
+    the duration of the ``with`` block (previous arbiter restored)."""
+    global _active
+    previous = _active
+    _active = arbiter
+    try:
+        yield arbiter
+    finally:
+        _active = previous

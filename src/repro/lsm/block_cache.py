@@ -14,13 +14,21 @@ from repro.lsm.storage import Block
 
 
 class BlockCache:
-    """Fixed-capacity LRU cache keyed by (run_id, block_index)."""
+    """Fixed-capacity LRU cache keyed by (run_id, block_index).
+
+    A per-run index of cached block numbers makes
+    :meth:`invalidate_run` O(blocks of that run) instead of a scan of
+    the whole cache — compaction-heavy workloads delete runs
+    constantly, and each deletion used to pay O(capacity).
+    """
 
     def __init__(self, capacity_blocks: int) -> None:
         if capacity_blocks < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity_blocks}")
         self._capacity = capacity_blocks
         self._blocks: OrderedDict[tuple[int, int], Block] = OrderedDict()
+        #: run_id -> block indexes currently cached for that run.
+        self._by_run: dict[int, set[int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -36,6 +44,10 @@ class BlockCache:
         """Fraction of lookups served from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def cached_blocks_of(self, run_id: int) -> set[int]:
+        """Block indexes currently cached for ``run_id`` (a copy)."""
+        return set(self._by_run.get(run_id, ()))
 
     def get(self, run_id: int, index: int) -> Block | None:
         key = (run_id, index)
@@ -53,17 +65,31 @@ class BlockCache:
         key = (run_id, index)
         self._blocks[key] = block
         self._blocks.move_to_end(key)
+        self._by_run.setdefault(run_id, set()).add(index)
         while len(self._blocks) > self._capacity:
-            self._blocks.popitem(last=False)
+            evicted, _ = self._blocks.popitem(last=False)
+            self._forget(evicted)
+
+    def _forget(self, key: tuple[int, int]) -> None:
+        """Drop ``key`` from the per-run index."""
+        indexes = self._by_run.get(key[0])
+        if indexes is not None:
+            indexes.discard(key[1])
+            if not indexes:
+                del self._by_run[key[0]]
 
     def invalidate_run(self, run_id: int) -> None:
         """Drop all cached blocks of a run (called when compaction deletes
-        the run)."""
-        stale = [k for k in self._blocks if k[0] == run_id]
-        for key in stale:
-            del self._blocks[key]
+        the run). Touches only that run's entries; hit/miss counters are
+        unaffected."""
+        indexes = self._by_run.pop(run_id, None)
+        if indexes is None:
+            return
+        for index in indexes:
+            del self._blocks[(run_id, index)]
 
     def clear(self) -> None:
         self._blocks.clear()
+        self._by_run.clear()
         self.hits = 0
         self.misses = 0

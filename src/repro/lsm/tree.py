@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.common.counters import IOCounters
+from repro.faults.crashpoints import crash_point
 from repro.lsm.block_cache import BlockCache
 from repro.obs import NULL_OBS, Observability
 from repro.obs.metrics import MERGE_INPUT_BUCKETS
@@ -126,6 +127,15 @@ class LSMTree:
         self.listeners: list[Callable[[TreeEvent], None]] = []
         #: Listeners called with the new level count when the tree grows.
         self.grow_listeners: list[Callable[[int], None]] = []
+        #: Runs made obsolete by the in-flight flush cascade; their
+        #: storage is reclaimed only when the cascade commits, so a
+        #: crash mid-merge never loses data the durable manifest still
+        #: references (write-new-before-delete-old, like SST deletion
+        #: deferred past the MANIFEST write in a real engine).
+        self._pending_free: list[int] = []
+        #: The durable manifest: what a crash recovers from. Updated
+        #: atomically when a flush cascade (or bulk install) commits.
+        self._committed: list[RunManifest] = []
         self.attach_observability(NULL_OBS)
 
     def attach_observability(self, obs: Observability) -> None:
@@ -220,8 +230,31 @@ class LSMTree:
                 1, entries, origin=None, pending_drops=[], events=events,
                 input_sublevels=(),
             )
+            crash_point("tree.flush.before_commit")
+            self._commit()
             span.set(events=len(events))
         return events
+
+    def _retire(self, run: Run) -> None:
+        """Mark a run obsolete: invalidate its cached blocks now, free
+        its storage only at commit (crash ordering: the new data must be
+        durable before the old data disappears)."""
+        if self.cache is not None:
+            self.cache.invalidate_run(run.run_id)
+        self._pending_free.append(run.run_id)
+
+    def _commit(self) -> None:
+        """Commit the finished cascade: reclaim retired runs' storage
+        and snapshot the durable manifest in one step."""
+        for run_id in self._pending_free:
+            self.storage.delete_run(run_id)
+        self._pending_free.clear()
+        self._committed = self.manifest()
+
+    def committed_manifest(self) -> list[RunManifest]:
+        """The last durably committed manifest — what survives a crash.
+        Equals :meth:`manifest` whenever no flush cascade is in flight."""
+        return list(self._committed)
 
     def _place(
         self,
@@ -330,6 +363,7 @@ class LSMTree:
                     MergeEvent(input_sublevels, sublevel, (), tuple(drops)), events
                 )
             return
+        crash_point("tree.emplace.before_build")
         run = Run.build(entries, self.storage, self.config.block_entries)
         level.slots[slot_index] = run
         if origin is None and not drops:
@@ -405,11 +439,13 @@ class LSMTree:
             purge_tombstones=self._is_oldest_sublevel(sublevel),
         )
         drops = list(pending_drops) + drops
-        target.drop(self.cache)
+        self._retire(target)
         level.slots[slot_index] = None
         if merged:
+            crash_point("tree.merge.before_build")
             run = Run.build(merged, self.storage, self.config.block_entries)
             level.slots[slot_index] = run
+            crash_point("tree.merge.after_build")
         event = MergeEvent(
             input_sublevels=tuple(input_sublevels) + (sublevel,),
             output_sublevel=sublevel,
@@ -438,8 +474,9 @@ class LSMTree:
             input_sublevels.append(sublevel)
         merged, merged_origin, drops = _merge_sorted(sources, purge_tombstones=False)
         for slot_index, run in occupied:
-            run.drop(self.cache)
+            self._retire(run)
             level.slots[slot_index] = None
+        crash_point("tree.spill.before_place")
         self._place(
             level_number + 1,
             merged,
@@ -537,6 +574,7 @@ class LSMTree:
                     f"{m.slot_index}"
                 )
             level.slots[m.slot_index] = run
+        tree._commit()
         return tree
 
     def install_run(self, sublevel: int, entries: list[Entry]) -> None:
@@ -557,6 +595,7 @@ class LSMTree:
                 self._notify(
                     FlushEvent(sublevel=sublevel, entries=tuple(entries)), []
                 )
+                self._commit()
                 return
         raise ValueError(f"sub-level {sublevel} does not exist")
 

@@ -9,6 +9,14 @@ rather than corrupting recovery.
 The log is a plain ``bytearray`` standing in for an append-only file —
 consistent with the repo's simulated-storage approach; the encoding is
 nevertheless a real, self-delimiting binary format.
+
+Values carry an explicit kind byte (str / bytes / tombstone) so that a
+``bytes`` payload — including non-UTF-8 ones — round-trips through
+crash and recovery exactly as written instead of being coerced to
+``str``. Any structural problem inside a checksum-valid record (a bad
+batch count, a truncated item, an unknown kind) raises
+:class:`WalCorruption` with the record's offset; replay never surfaces
+a bare ``IndexError`` or ``UnicodeDecodeError``.
 """
 
 from __future__ import annotations
@@ -24,6 +32,14 @@ _PUT = 0
 _DELETE = 1
 _BATCH = 2
 
+#: Value kinds: how the payload bytes map back to a Python value.
+_VK_STR = 0
+_VK_BYTES = 1
+_VK_TOMB = 2
+
+#: kind(1) + key(8) + seqno(8) + value-kind(1) + value-length(4)
+_ITEM_HEADER = 22
+
 
 class WalCorruption(ReproError):
     """A WAL record failed its checksum somewhere other than the tail."""
@@ -36,12 +52,51 @@ def _checksum(payload: bytes) -> int:
     return acc & 0xFFFFFFFF
 
 
-def _encode_value(value: Any) -> bytes:
+def _encode_value(value: Any) -> tuple[int, bytes]:
+    """(value-kind, payload bytes) for any storable value."""
     if value is TOMBSTONE:
-        return b""
+        return _VK_TOMB, b""
     if isinstance(value, bytes):
-        return value
-    return str(value).encode("utf-8")
+        return _VK_BYTES, value
+    return _VK_STR, str(value).encode("utf-8")
+
+
+def _decode_value(vkind: int, raw: bytes, offset: int) -> Any:
+    if vkind == _VK_TOMB:
+        return TOMBSTONE
+    if vkind == _VK_BYTES:
+        return bytes(raw)
+    if vkind == _VK_STR:
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WalCorruption(
+                f"undecodable str value at offset {offset}: {exc}"
+            ) from None
+    raise WalCorruption(f"unknown value kind {vkind} at offset {offset}")
+
+
+def _encode_item(kind: int, key: int, value: Any, seqno: int) -> bytes:
+    if not 0 <= key < 1 << 64:
+        raise ValueError(f"key {key} out of 64-bit range")
+    vkind, encoded = _encode_value(value)
+    return (
+        bytes([kind])
+        + key.to_bytes(8, "little")
+        + seqno.to_bytes(8, "little")
+        + bytes([vkind])
+        + len(encoded).to_bytes(4, "little")
+        + encoded
+    )
+
+
+def _frame(payload: bytes) -> bytes:
+    """Length-prefix and checksum one record payload."""
+    return (
+        len(payload).to_bytes(4, "little")
+        + _checksum(payload).to_bytes(4, "little")
+        + payload
+    )
 
 
 @dataclass
@@ -61,10 +116,16 @@ class WriteAheadLog:
     batch_records: int = 0
 
     def append_put(self, key: int, value: Any, seqno: int) -> None:
-        self._append(_PUT, key, _encode_value(value), seqno)
+        self._write_record(
+            _frame(_encode_item(_PUT, key, value, seqno)), count=1, batch=False
+        )
 
     def append_delete(self, key: int, seqno: int) -> None:
-        self._append(_DELETE, key, b"", seqno)
+        self._write_record(
+            _frame(_encode_item(_DELETE, key, TOMBSTONE, seqno)),
+            count=1,
+            batch=False,
+        )
 
     def append_batch(self, items: list[tuple[int, Any, int]]) -> None:
         """Append a whole batch of puts as ONE checksummed record.
@@ -80,43 +141,23 @@ class WriteAheadLog:
         payload = bytearray([_BATCH])
         payload += len(items).to_bytes(4, "little")
         for key, value, seqno in items:
-            if not 0 <= key < 1 << 64:
-                raise ValueError(f"key {key} out of 64-bit range")
-            encoded = _encode_value(value)
-            payload += bytes([_DELETE if value is TOMBSTONE else _PUT])
-            payload += key.to_bytes(8, "little")
-            payload += seqno.to_bytes(8, "little")
-            payload += len(encoded).to_bytes(4, "little")
-            payload += encoded
-        body = bytes(payload)
-        record = (
-            len(body).to_bytes(4, "little")
-            + _checksum(body).to_bytes(4, "little")
-            + body
-        )
-        self.data.extend(record)
-        self.appended += len(items)
-        self.appended_bytes += len(record)
-        self.batch_records += 1
+            payload += _encode_item(
+                _DELETE if value is TOMBSTONE else _PUT, key, value, seqno
+            )
+        self._write_record(_frame(bytes(payload)), count=len(items), batch=True)
 
-    def _append(self, kind: int, key: int, value: bytes, seqno: int) -> None:
-        if not 0 <= key < 1 << 64:
-            raise ValueError(f"key {key} out of 64-bit range")
-        payload = (
-            bytes([kind])
-            + key.to_bytes(8, "little")
-            + seqno.to_bytes(8, "little")
-            + len(value).to_bytes(4, "little")
-            + value
-        )
-        record = (
-            len(payload).to_bytes(4, "little")
-            + _checksum(payload).to_bytes(4, "little")
-            + payload
-        )
+    def _write_record(self, record: bytes, count: int, batch: bool) -> None:
+        """Physically append one framed record.
+
+        The single seam through which every append reaches the log —
+        the fault-injection harness overrides it to write a byte-level
+        prefix of ``record`` and crash (a torn append).
+        """
         self.data.extend(record)
-        self.appended += 1
+        self.appended += count
         self.appended_bytes += len(record)
+        if batch:
+            self.batch_records += 1
 
     def truncate(self) -> None:
         """Discard the log (after a successful flush made it redundant)."""
@@ -136,6 +177,7 @@ class WriteAheadLog:
         view = bytes(self.data)
         offset = 0
         while offset < len(view):
+            start = offset
             header = view[offset : offset + 8]
             if len(header) < 8:
                 return  # torn tail
@@ -147,29 +189,66 @@ class WriteAheadLog:
             if _checksum(payload) != checksum:
                 if offset + 8 + length >= len(view):
                     return  # torn tail: checksum of a partial final write
-                raise WalCorruption(f"bad checksum at offset {offset}")
+                raise WalCorruption(f"bad checksum at offset {start}")
+            if not payload:
+                raise WalCorruption(f"empty record at offset {start}")
             kind = payload[0]
             offset += 8 + length
             if kind == _BATCH:
+                if len(payload) < 5:
+                    raise WalCorruption(
+                        f"truncated batch header at offset {start}"
+                    )
                 count = int.from_bytes(payload[1:5], "little")
                 pos = 5
                 for _ in range(count):
-                    item_kind = payload[pos]
-                    key = int.from_bytes(payload[pos + 1 : pos + 9], "little")
-                    seqno = int.from_bytes(payload[pos + 9 : pos + 17], "little")
-                    vlen = int.from_bytes(payload[pos + 17 : pos + 21], "little")
-                    value_bytes = payload[pos + 21 : pos + 21 + vlen]
-                    pos += 21 + vlen
-                    if item_kind == _DELETE:
-                        yield "delete", key, TOMBSTONE, seqno
-                    else:
-                        yield "put", key, value_bytes.decode("utf-8"), seqno
+                    item, pos = self._parse_item(payload, pos, start)
+                    yield item
+                if pos != len(payload):
+                    raise WalCorruption(
+                        f"{len(payload) - pos} trailing bytes after batch "
+                        f"at offset {start}"
+                    )
                 continue
-            key = int.from_bytes(payload[1:9], "little")
-            seqno = int.from_bytes(payload[9:17], "little")
-            vlen = int.from_bytes(payload[17:21], "little")
-            value_bytes = payload[21 : 21 + vlen]
-            if kind == _DELETE:
-                yield "delete", key, TOMBSTONE, seqno
-            else:
-                yield "put", key, value_bytes.decode("utf-8"), seqno
+            if kind not in (_PUT, _DELETE):
+                raise WalCorruption(
+                    f"unknown record kind {kind} at offset {start}"
+                )
+            item, pos = self._parse_item(payload, 0, start)
+            if pos != len(payload):
+                raise WalCorruption(
+                    f"{len(payload) - pos} trailing bytes after record "
+                    f"at offset {start}"
+                )
+            yield item
+
+    @staticmethod
+    def _parse_item(
+        payload: bytes, pos: int, offset: int
+    ) -> tuple[tuple[str, int, Any, int], int]:
+        """Decode one bounds-checked item at ``pos``; returns (record,
+        next position). Any structural violation — an item header or
+        value running past the payload, an unknown kind — raises
+        :class:`WalCorruption` naming the record's ``offset``."""
+        if pos + _ITEM_HEADER > len(payload):
+            raise WalCorruption(
+                f"truncated item header at offset {offset} (pos {pos})"
+            )
+        kind = payload[pos]
+        if kind not in (_PUT, _DELETE):
+            raise WalCorruption(
+                f"unknown item kind {kind} at offset {offset} (pos {pos})"
+            )
+        key = int.from_bytes(payload[pos + 1 : pos + 9], "little")
+        seqno = int.from_bytes(payload[pos + 9 : pos + 17], "little")
+        vkind = payload[pos + 17]
+        vlen = int.from_bytes(payload[pos + 18 : pos + 22], "little")
+        if pos + _ITEM_HEADER + vlen > len(payload):
+            raise WalCorruption(
+                f"item value overruns record at offset {offset} (pos {pos})"
+            )
+        raw = payload[pos + _ITEM_HEADER : pos + _ITEM_HEADER + vlen]
+        next_pos = pos + _ITEM_HEADER + vlen
+        if kind == _DELETE:
+            return ("delete", key, TOMBSTONE, seqno), next_pos
+        return ("put", key, _decode_value(vkind, raw, offset), seqno), next_pos

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
+from repro.faults.crashpoints import crash_point
 from repro.lsm.entry import TOMBSTONE
 from repro.obs import GROUP_COMMIT_BUCKETS, NULL_OBS, Observability
 
@@ -141,7 +142,12 @@ class GroupCommitWriter:
             # Synchronous section: safe to span (the tracer's stack
             # must never be held across an await).
             with self.obs.tracer.span("group_commit", size=len(group)):
+                crash_point("group_commit.before_apply")
                 self.store.put_batch(items)
+                # A crash here dies with the group durable in the WAL
+                # but no waiter acknowledged — recovery may surface the
+                # writes, and the ack contract still holds.
+                crash_point("group_commit.before_ack")
         except Exception as exc:  # noqa: BLE001 — propagate to every waiter
             for _, _, future in group:
                 if not future.done():
