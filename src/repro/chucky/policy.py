@@ -69,8 +69,8 @@ class ChuckyPolicy(FilterPolicy):
     # Construction / resizing
     # ------------------------------------------------------------------
 
-    def attach(self, tree: LSMTree) -> None:
-        super().attach(tree)
+    def attach(self, tree: LSMTree, *, subscribe: bool = True) -> None:
+        super().attach(tree, subscribe=subscribe)
         self._build_filter()
 
     def _distribution(self) -> LidDistribution:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands for poking at the system without writing code:
+Eleven commands for poking at the system without writing code:
 
 * ``info``      — package, geometry and codebook overview
 * ``fpr``       — model + measured FPR comparison for one geometry
@@ -15,6 +15,14 @@ Eight commands for poking at the system without writing code:
   trace spans (modelled-time durations, nesting, attributes)
 * ``serve``     — expose a (sharded) durable store over TCP: binary
   protocol, group commit, BUSY backpressure, graceful drain on SIGINT
+  (``--adapt`` attaches the adaptive-tuning controller; decisions are
+  applied by a background task between requests)
+* ``bench``     — run the canonical benchmark suite (uniform / zipf /
+  ycsb-b over the leveled and tiered presets) and write the
+  ``BENCH_core.json`` artifact
+* ``tune``      — replay a drift scenario with the adaptive-tuning
+  loop attached and print the decision log (``--static`` replays the
+  same ops untuned for comparison)
 * ``loadgen``   — drive a running server closed-loop over N
   connections and write the ``BENCH_serve.json`` latency artifact
 * ``faultcheck``— explore seeded crash schedules (torn WAL tails,
@@ -219,6 +227,134 @@ def cmd_trace(args) -> int:
     return 0
 
 
+_TUNE_PRESETS = {
+    "leveled": EngineConfig.leveled,
+    "tiered": EngineConfig.tiered,
+    "lazy": EngineConfig.lazy_leveled,
+}
+
+
+def cmd_bench(args) -> int:
+    from repro.workloads.bench import run_bench, write_artifact
+
+    print(
+        f"bench: core suite, {args.ops} ops/case over {args.preload} keys "
+        f"(policy={args.policy}, M={args.bits:g} bits/entry, "
+        f"seed={args.seed})",
+        flush=True,
+    )
+    report = run_bench(
+        ops=args.ops,
+        preload=args.preload,
+        seed=args.seed,
+        policy=args.policy,
+        bits_per_entry=args.bits,
+    )
+    for row in report["cases"]:
+        per_op = row["counted_per_op"]
+        print(
+            f"  {row['name']:16s}: {row['throughput_ops_per_s']:>9,.0f} ops/s  "
+            f"{per_op['storage_reads']:.3f} sr/op  "
+            f"{per_op['storage_writes']:.3f} sw/op  "
+            f"{row['modelled_ns_per_op']:>8,.0f} ns/op modelled  "
+            f"p99 {row['wall_latency_us']['p99']:g}us"
+        )
+    try:
+        write_artifact(report, args.out)
+    except OSError as exc:
+        print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"artifact written to {args.out}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.tuning import PlannerConfig, TuningConfig, TuningController
+    from repro.tuning.sensor import aggregate_snapshot
+    from repro.workloads.drift import apply_ops, scenario, total_ops
+
+    phases = scenario(args.scenario, seed=args.seed)
+    config = _TUNE_PRESETS[args.preset](
+        size_ratio=args.size_ratio,
+        buffer_entries=args.buffer,
+        block_entries=16,
+        cache_blocks=args.cache_blocks,
+        policy=args.policy,
+        bits_per_entry=args.bits,
+        shards=args.shards,
+    )
+    obs = Observability()
+    store = build_store(config, observability=obs)
+    controller = TuningController(
+        store,
+        config,
+        TuningConfig(
+            window_ops=args.window_ops,
+            planner=PlannerConfig(hysteresis=args.hysteresis),
+        ),
+        observability=obs,
+    )
+    mode = "static (controller detached)" if args.static else "adaptive"
+    if not args.static:
+        controller.attach()
+    print(
+        f"tune: scenario={args.scenario} ({len(phases)} phases, "
+        f"{total_ops(phases)} ops), start policy={args.policy} "
+        f"M={args.bits:g}, preset={args.preset}, "
+        f"window={args.window_ops} ops, mode={mode}",
+        flush=True,
+    )
+    phase_rows = []
+    for phase in phases:
+        before = aggregate_snapshot(store)
+        apply_ops(store, phase.ops)
+        after = aggregate_snapshot(store)
+        row = {
+            "phase": phase.name,
+            "ops": len(phase.ops),
+            "storage_reads": after.storage_reads - before.storage_reads,
+            "storage_writes": after.storage_writes - before.storage_writes,
+            "policy_after": controller.effective_config.policy,
+        }
+        phase_rows.append(row)
+        print(
+            f"  {phase.name:10s}: {row['ops']:>5d} ops  "
+            f"{row['storage_reads']:>6d} storage reads  "
+            f"{row['storage_writes']:>6d} storage writes  "
+            f"[policy={row['policy_after']}]"
+        )
+    status = controller.status()
+    applied = [d for d in status["decisions"] if d["applied"]]
+    print(
+        f"windows={status['windows']} decisions={len(status['decisions'])} "
+        f"applied={len(applied)} -> effective policy "
+        f"{status['effective_policy']} at "
+        f"{status['effective_bits_per_entry']:g} bits/entry, "
+        f"memtable={status['memtable_capacity']}"
+    )
+    for decision in applied:
+        print(
+            f"  window {decision['window']:>3d}: {decision['action']} "
+            f"(win {decision['win']:.1%}) — {decision['reason']}"
+        )
+    if args.json:
+        artifact = {
+            "scenario": args.scenario,
+            "mode": "static" if args.static else "adaptive",
+            "phases": phase_rows,
+            "status": status,
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(artifact, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+        print(f"decision log written to {args.json}")
+    return 0
+
+
 def _serve_config(args) -> EngineConfig:
     """The server's store: like the workload store, but durable — the
     WAL is what makes group commit and crash recovery meaningful."""
@@ -240,7 +376,35 @@ async def _serve_main(args) -> int:
     from repro.server import ReproServer, ServerConfig
 
     obs = Observability()
-    store = build_store(_serve_config(args), observability=obs)
+    engine_config = _serve_config(args)
+    store = build_store(engine_config, observability=obs)
+    controller = None
+    adapt_task = None
+    if args.adapt:
+        from repro.tuning import TuningConfig, TuningController
+
+        # Decisions are queued (auto_apply=False) so actuation happens
+        # on the event loop between requests, never inside one.
+        controller = TuningController(
+            store,
+            engine_config,
+            TuningConfig(window_ops=args.adapt_window, auto_apply=False),
+            observability=obs,
+        )
+        controller.attach()
+
+        async def _adapt_loop() -> None:
+            while True:
+                await asyncio.sleep(args.adapt_interval)
+                if controller.apply_pending():
+                    latest = controller.applied_decisions()[-1]
+                    print(
+                        f"repro serve: tuning applied {latest.action} "
+                        f"(win {latest.win:.1%}) — {latest.reason}",
+                        flush=True,
+                    )
+
+        adapt_task = asyncio.get_running_loop().create_task(_adapt_loop())
     server = ReproServer(
         store,
         ServerConfig(
@@ -271,6 +435,17 @@ async def _serve_main(args) -> int:
             # RuntimeError); SHUTDOWN over the wire still drains.
             pass
     await server.serve_until_drained()
+    if adapt_task is not None:
+        adapt_task.cancel()
+        controller.apply_pending()
+        controller.detach()
+        status = controller.status()
+        print(
+            f"repro serve: tuning saw {status['windows']} windows, "
+            f"applied {status['applied']} actions "
+            f"(effective policy {status['effective_policy']})",
+            flush=True,
+        )
     print(
         f"repro serve: drained ({server.requests} requests, "
         f"{server.shed} shed, {server.errors} errors, "
@@ -344,11 +519,13 @@ def cmd_faultcheck(args) -> int:
         schedules_per_seed=args.schedules_per_seed,
         transient_rate=args.transient_rate,
         group_commit=not args.no_group_commit,
+        migration=not args.no_migration,
     )
     print(
         f"faultcheck: {cfg.seeds} seeds x "
         f"(1 trace + {cfg.schedules_per_seed} crash schedules"
-        f"{' + 1 group-commit schedule' if cfg.group_commit else ''}), "
+        f"{' + 1 group-commit schedule' if cfg.group_commit else ''}"
+        f"{' + 1 migration schedule' if cfg.migration else ''}), "
         f"preset={cfg.preset} policy={cfg.policy} shards={cfg.shards} "
         f"ops={cfg.ops} transient_rate={cfg.transient_rate:g}",
         flush=True,
@@ -443,7 +620,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-connection pipelined-request cap")
     p_serve.add_argument("--commit-batch", type=int, default=512,
                          help="max writes coalesced into one group commit")
+    p_serve.add_argument("--adapt", action="store_true",
+                         help="attach the adaptive-tuning controller; "
+                              "decisions queue and apply between requests")
+    p_serve.add_argument("--adapt-window", type=int, default=512,
+                         help="tuning sensor window, in operations")
+    p_serve.add_argument("--adapt-interval", type=float, default=0.25,
+                         help="seconds between queued-decision sweeps")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the canonical suite, write BENCH_core.json"
+    )
+    p_bench.add_argument("--ops", type=int, default=2000,
+                         help="operations per benchmark case")
+    p_bench.add_argument("--preload", type=int, default=500,
+                         help="keys preloaded before measuring")
+    p_bench.add_argument("--policy", choices=available_policies(),
+                         default="chucky")
+    p_bench.add_argument("--bits", "-m", type=float, default=10.0,
+                         help="filter memory budget in bits per entry")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_core.json",
+                         help="benchmark artifact path")
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_tune = sub.add_parser(
+        "tune", help="replay a drift scenario with adaptive tuning"
+    )
+    p_tune.add_argument("--scenario",
+                        choices=("grow-n", "phase-shift", "skew-shift"),
+                        default="grow-n")
+    p_tune.add_argument("--preset", choices=("leveled", "tiered", "lazy"),
+                        default="leveled",
+                        help="initial merge-policy preset")
+    p_tune.add_argument("--policy", choices=available_policies(),
+                        default="bloom-standard",
+                        help="initial filter policy (the planner may "
+                             "migrate away from it)")
+    p_tune.add_argument("--size-ratio", "-t", type=int, default=3)
+    p_tune.add_argument("--bits", "-m", type=float, default=10.0)
+    p_tune.add_argument("--buffer", type=int, default=32)
+    p_tune.add_argument("--cache-blocks", type=int, default=0)
+    p_tune.add_argument("--shards", type=int, default=1)
+    p_tune.add_argument("--window-ops", type=int, default=512,
+                        help="tuning sensor window, in operations")
+    p_tune.add_argument("--hysteresis", type=float, default=0.10,
+                        help="minimum modelled win to act on")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--static", action="store_true",
+                        help="replay the same ops without attaching the "
+                             "controller (baseline for comparison)")
+    p_tune.add_argument("--json", metavar="FILE", default=None,
+                        help="write phases + decision log as JSON")
+    p_tune.set_defaults(func=cmd_tune)
 
     p_lg = sub.add_parser(
         "loadgen", help="drive a running server and write BENCH_serve.json"
@@ -488,6 +718,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "error (absorbed by retry-with-backoff)")
     p_fc.add_argument("--no-group-commit", action="store_true",
                       help="skip the per-seed asyncio group-commit schedule")
+    p_fc.add_argument("--no-migration", action="store_true",
+                      help="skip the per-seed crashed-filter-migration "
+                           "schedule")
     p_fc.add_argument("--report", metavar="FILE", default=None,
                       help="write the full schedule report as JSON")
     p_fc.set_defaults(func=cmd_faultcheck)

@@ -145,8 +145,29 @@ class KVStore:
         self.queries = 0
         self.updates = 0
         self.false_positives = 0
+        #: Optional tuning hook (see :mod:`repro.tuning`). ``None`` means
+        #: tuning is off and every call site is a single ``is None``
+        #: check — counted I/Os stay bit-identical to the untuned store.
+        self._tuning = None
         if self._obs_on:
             self._register_instruments()
+
+    # ------------------------------------------------------------------
+    # Tuning hook
+    # ------------------------------------------------------------------
+
+    def attach_tuning(self, hook) -> None:
+        """Install a tuning observer (``on_read``/``on_write``/``on_scan``
+        methods, e.g. :class:`repro.tuning.TuningController`). The hook
+        fires *after* each operation's counted work, so it can mutate the
+        store (flush, migrate filters) without perturbing the operation
+        that triggered it."""
+        if self._tuning is not None:
+            raise RuntimeError("a tuning hook is already attached")
+        self._tuning = hook
+
+    def detach_tuning(self) -> None:
+        self._tuning = None
 
     # ------------------------------------------------------------------
     # Observability wiring
@@ -234,12 +255,14 @@ class KVStore:
         """Insert or update a key."""
         if not self._obs_on:
             self._put_impl(key, value)
-            return
-        start = self._modelled_ns()
-        with self.obs.tracer.span("write", key=key):
-            self._put_impl(key, value)
-        self._m_writes.inc()
-        self._m_write_latency.observe(self._modelled_ns() - start)
+        else:
+            start = self._modelled_ns()
+            with self.obs.tracer.span("write", key=key):
+                self._put_impl(key, value)
+            self._m_writes.inc()
+            self._m_write_latency.observe(self._modelled_ns() - start)
+        if self._tuning is not None:
+            self._tuning.on_write(1)
 
     def _put_impl(self, key: int, value: Any) -> None:
         if self.memtable.is_full:
@@ -255,12 +278,14 @@ class KVStore:
         """Delete a key (out-of-place: buffers a tombstone)."""
         if not self._obs_on:
             self._delete_impl(key)
-            return
-        start = self._modelled_ns()
-        with self.obs.tracer.span("delete", key=key):
-            self._delete_impl(key)
-        self._m_writes.inc()
-        self._m_write_latency.observe(self._modelled_ns() - start)
+        else:
+            start = self._modelled_ns()
+            with self.obs.tracer.span("delete", key=key):
+                self._delete_impl(key)
+            self._m_writes.inc()
+            self._m_write_latency.observe(self._modelled_ns() - start)
+        if self._tuning is not None:
+            self._tuning.on_write(1)
 
     def _delete_impl(self, key: int) -> None:
         if self.memtable.is_full:
@@ -292,12 +317,14 @@ class KVStore:
     def _put_group(self, group: list[tuple[int, Any]]) -> None:
         if not self._obs_on:
             self._put_group_impl(group)
-            return
-        start = self._modelled_ns()
-        with self.obs.tracer.span("put_batch", size=len(group)):
-            self._put_group_impl(group)
-        self._m_writes.inc(len(group))
-        self._m_write_latency.observe(self._modelled_ns() - start)
+        else:
+            start = self._modelled_ns()
+            with self.obs.tracer.span("put_batch", size=len(group)):
+                self._put_group_impl(group)
+            self._m_writes.inc(len(group))
+            self._m_write_latency.observe(self._modelled_ns() - start)
+        if self._tuning is not None:
+            self._tuning.on_write(len(group))
 
     def _put_group_impl(self, group: list[tuple[int, Any]]) -> None:
         if len(self.memtable) + len(group) > self.memtable.capacity:
@@ -473,20 +500,23 @@ class KVStore:
         14 B-D measure.
         """
         if not self._obs_on:
-            return self._read_impl(key)
-        start = self._modelled_ns()
-        with self.obs.tracer.span("read", key=key) as span:
             result = self._read_impl(key)
-            span.set(
-                found=result.found,
-                false_positives=result.false_positives,
-                sublevels_probed=result.sublevels_probed,
-            )
-        self._m_reads.inc()
-        self._m_read_latency.observe(self._modelled_ns() - start)
-        self._m_sublevels_probed.observe(result.sublevels_probed)
-        if result.false_positives:
-            self._m_false_positives.inc(result.false_positives)
+        else:
+            start = self._modelled_ns()
+            with self.obs.tracer.span("read", key=key) as span:
+                result = self._read_impl(key)
+                span.set(
+                    found=result.found,
+                    false_positives=result.false_positives,
+                    sublevels_probed=result.sublevels_probed,
+                )
+            self._m_reads.inc()
+            self._m_read_latency.observe(self._modelled_ns() - start)
+            self._m_sublevels_probed.observe(result.sublevels_probed)
+            if result.false_positives:
+                self._m_false_positives.inc(result.false_positives)
+        if self._tuning is not None:
+            self._tuning.on_read(key, result)
         return result
 
     def _read_impl(self, key: int) -> ReadResult:
@@ -524,6 +554,11 @@ class KVStore:
 
     def scan(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
         """Range read over [lo, hi]; filters are bypassed (section 4.5)."""
+        if self._tuning is not None:
+            self._tuning.on_scan()
+        return self._scan_impl(lo, hi)
+
+    def _scan_impl(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
         best: dict[int, Entry] = {}
         for entry in self.memtable.scan(lo, hi):
             best[entry.key] = entry

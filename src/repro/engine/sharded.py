@@ -110,8 +110,26 @@ class ShardedKVStore:
             raise ValueError("ShardedKVStore needs at least one shard")
         self.shards = list(shards)
         self.obs = observability if observability is not None else NULL_OBS
+        #: Optional tuning hook, mirrored from :class:`KVStore`: the
+        #: controller attaches at the router (shards stay unhooked), so
+        #: each logical operation is sensed exactly once.
+        self._tuning = None
         if self.obs.enabled:
             self._register_instruments()
+
+    # ------------------------------------------------------------------
+    # Tuning hook
+    # ------------------------------------------------------------------
+
+    def attach_tuning(self, hook) -> None:
+        """Install a tuning observer at the router level (see
+        :meth:`repro.engine.kvstore.KVStore.attach_tuning`)."""
+        if self._tuning is not None:
+            raise RuntimeError("a tuning hook is already attached")
+        self._tuning = hook
+
+    def detach_tuning(self) -> None:
+        self._tuning = None
 
     @property
     def num_shards(self) -> int:
@@ -127,9 +145,13 @@ class ShardedKVStore:
 
     def put(self, key: int, value: Any) -> None:
         self.shard_for(key).put(key, value)
+        if self._tuning is not None:
+            self._tuning.on_write(1)
 
     def delete(self, key: int) -> None:
         self.shard_for(key).delete(key)
+        if self._tuning is not None:
+            self._tuning.on_write(1)
 
     def put_batch(self, items: list[tuple[int, Any]]) -> None:
         """Buffer a batch, grouped so each shard's memtable and WAL are
@@ -146,6 +168,8 @@ class ShardedKVStore:
                 # because the batch has not been acknowledged yet.
                 crash_point("sharded.batch.between_shards")
             self.shards[index].put_batch(groups[index])
+        if self._tuning is not None:
+            self._tuning.on_write(len(items))
 
     def flush(self) -> None:
         """Flush every shard's memtable."""
@@ -157,14 +181,23 @@ class ShardedKVStore:
     # ------------------------------------------------------------------
 
     def get(self, key: int) -> Any:
-        return self.shard_for(key).get(key)
+        if self._tuning is None:
+            return self.shard_for(key).get(key)
+        return self.get_with_stats(key).value
 
     def get_with_stats(self, key: int) -> ReadResult:
-        return self.shard_for(key).get_with_stats(key)
+        result = self.shard_for(key).get_with_stats(key)
+        if self._tuning is not None:
+            self._tuning.on_read(key, result)
+        return result
 
     def get_batch(self, keys: list[int]) -> list[Any]:
         """Point-read many keys, visiting each owning shard once with
         its whole group; values align with ``keys`` by index."""
+        if self._tuning is not None:
+            # Per-key routing so the hook senses each read. Grouping is
+            # pure routing sugar — the counted I/Os are identical.
+            return [self.get(key) for key in keys]
         num = len(self.shards)
         positions: dict[int, list[int]] = {}
         for pos, key in enumerate(keys):
@@ -184,6 +217,11 @@ class ShardedKVStore:
         yields one key twice, and tombstone suppression inside each
         shard's scan is already final across the whole store.
         """
+        if self._tuning is not None:
+            self._tuning.on_scan()
+        return self._scan_impl(lo, hi)
+
+    def _scan_impl(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
         yield from heapq.merge(
             *(shard.scan(lo, hi) for shard in self.shards),
             key=lambda item: item[0],

@@ -76,6 +76,26 @@ CRASH_POINTS: dict[str, str] = {
         "die after the group's WAL append/apply but before any waiter "
         "was acknowledged"
     ),
+    "tuning.migrate.before_build": (
+        "die as a live filter migration starts, before the incoming "
+        "filter read any sub-level (old filter still serving)"
+    ),
+    "tuning.migrate.mid_build": (
+        "die mid-migration, after the incoming filter absorbed one "
+        "sub-level but before the swap (old filter still serving)"
+    ),
+    "tuning.migrate.before_swap": (
+        "die after the incoming filter is fully built but before the "
+        "atomic policy swap"
+    ),
+    "tuning.migrate.after_swap": (
+        "die immediately after the atomic policy swap (new filter now "
+        "serving; recovery must accept the new config)"
+    ),
+    "tuning.switch.before_commit": (
+        "die after a merge-policy switch rebuilt the tree's runs but "
+        "before the store swapped to the new tree (old manifest wins)"
+    ),
 }
 
 

@@ -28,6 +28,15 @@ concurrent submissions through :class:`GroupCommitWriter`, a crash
 between WAL append and acknowledgement, and the check that every
 acknowledged submission survived recovery.
 
+And one **migration schedule** per seed: the workload runs to
+completion, then a live filter migration (the adaptive-tuning
+actuator's incremental rebuild + atomic swap) is crashed at one of the
+``tuning.migrate.*`` points, rotating with the seed. Filters are soft
+state, so recovery must succeed and match the model under the old
+config for a crash before the swap and under the new config after it —
+the blob-mismatch-falls-back-to-rebuild path is exactly what these
+schedules pin down.
+
 Everything is deterministic in (config, seed): same inputs, same
 workload, same faults, same verdict.
 """
@@ -68,6 +77,7 @@ class FaultcheckConfig:
     schedules_per_seed: int = 3
     transient_rate: float = 0.05
     group_commit: bool = True
+    migration: bool = True
 
     def __post_init__(self) -> None:
         if self.preset not in _PRESETS:
@@ -571,6 +581,126 @@ async def _group_commit_schedule(
 
 
 # ----------------------------------------------------------------------
+# Migration schedule (crash during a live filter migration)
+# ----------------------------------------------------------------------
+
+_MIGRATION_POINTS = (
+    "tuning.migrate.before_build",
+    "tuning.migrate.mid_build",
+    "tuning.migrate.before_swap",
+    "tuning.migrate.after_swap",
+    "tuning.switch.before_commit",  # crashed merge-policy switch
+)
+
+
+def _migration_schedule(
+    cfg: FaultcheckConfig,
+    econf: EngineConfig,
+    seed: int,
+    workload: list[tuple],
+    obs: Observability,
+) -> tuple[ScheduleResult, FaultInjector]:
+    """Crash a live retune at one of the ``tuning.*`` crash points.
+
+    The workload runs crash-free first (so the model is exact), then the
+    actuator performs a live change with a crash scheduled at the seed's
+    rotating point: a filter migration to the *other* filter family for
+    the four ``tuning.migrate.*`` points, or a merge-policy switch (the
+    store-wide major compaction) for ``tuning.switch.before_commit``. A
+    crash strictly before the swap/commit must recover under the **old**
+    config; after the swap under the **new** one — either way the filter
+    is soft state and recovery falls back to rebuilding it from the
+    runs, and the old manifest-plus-orphans ordering protects the merge
+    switch. Transient I/O is disabled here: the schedule isolates the
+    tuning crash points.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.tuning.actuator import migrate_filter, switch_merge_policy
+
+    target = "bloom" if econf.policy.startswith("chucky") else "chucky"
+    point = _MIGRATION_POINTS[seed % len(_MIGRATION_POINTS)]
+    plan = FaultPlan(
+        seed=seed,
+        crash_kind=CRASH_AT_POINT,
+        crash_point_name=point,
+        crash_occurrence=1,
+        transient_rate=0.0,
+    )
+    injector = FaultInjector(plan, obs)
+    store = build_store(econf)
+    injector.install(store)
+    result = ScheduleResult(
+        seed=seed, schedule="migration " + plan.describe(), crashed=False
+    )
+    model: dict[int, Any] = {}
+    swapped = False
+    with crashpoints.activated(injector):
+        for op in workload:
+            _apply_op(store, op)
+            model.update(_op_effects(op))
+        try:
+            if point == "tuning.switch.before_commit":
+                # Flip K (and keep Z) so the switch rebuilds a genuinely
+                # different geometry; the crash fires before any shard's
+                # new manifest commits, so recovery stays on the old one.
+                switch_merge_policy(
+                    store,
+                    dc_replace(
+                        econf,
+                        runs_per_level=(
+                            1 if econf.runs_per_level > 1 else 2
+                        ),
+                    ),
+                )
+            else:
+                migrate_filter(store, target, econf.bits_per_entry)
+            swapped = True
+        except InjectedCrash:
+            result.crashed = True
+            # after_swap fires once shard 0's swap is already in
+            # memory; its durable state is still blob-compatible with
+            # either policy, but the "what crashed" config is the new
+            # one.
+            swapped = point == "tuning.migrate.after_swap"
+    if not result.crashed:
+        result.violations.append(
+            str(
+                Violation(
+                    "harness",
+                    f"scheduled migration crash never fired "
+                    f"({plan.describe()})",
+                )
+            )
+        )
+        return result, injector
+    recover_conf = dc_replace(econf, policy=target) if swapped else econf
+    state = store.crash()
+    _clear_faults(state)
+    checker = InvariantChecker()
+    try:
+        recovered = recover_store(state, recover_conf)
+        result.violations.extend(
+            str(v)
+            for v in checker.check_state(recovered, merge_expected(model))
+        )
+        result.violations.extend(
+            str(v) for v in checker.check_structure(recovered)
+        )
+    except Exception as exc:  # noqa: BLE001 — a raising recovery IS the bug
+        result.violations.append(
+            str(
+                Violation(
+                    "recovery",
+                    f"recovery after migration crash raised "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+        )
+    return result, injector
+
+
+# ----------------------------------------------------------------------
 # Campaign driver
 # ----------------------------------------------------------------------
 
@@ -579,7 +709,8 @@ def run_faultcheck(
 ) -> FaultcheckReport:
     """Run the whole campaign: for each seed, one trace run, up to
     ``schedules_per_seed`` crash schedules, and (optionally) one
-    group-commit schedule. Deterministic in ``cfg``."""
+    group-commit schedule and one crashed-filter-migration schedule.
+    Deterministic in ``cfg``."""
     obs = observability if observability is not None else NULL_OBS
     report = FaultcheckReport(
         preset=cfg.preset,
@@ -602,6 +733,12 @@ def run_faultcheck(
         if cfg.group_commit:
             result, injector = asyncio.run(
                 _group_commit_schedule(cfg, econf, seed, obs)
+            )
+            report.results.append(result)
+            _absorb(report, injector)
+        if cfg.migration:
+            result, injector = _migration_schedule(
+                cfg, econf, seed, workload, obs
             )
             report.results.append(result)
             _absorb(report, injector)

@@ -46,13 +46,37 @@ class FilterPolicy(ABC):
             raise RuntimeError("policy is not attached to a tree")
         return self._tree
 
-    def attach(self, tree: LSMTree) -> None:
-        """Subscribe to the tree's maintenance events."""
+    def attach(self, tree: LSMTree, *, subscribe: bool = True) -> None:
+        """Bind to ``tree`` and (by default) subscribe to its maintenance
+        events. ``subscribe=False`` attaches without listening — the
+        live-migration path builds the incoming policy's filters against
+        the tree while the outgoing policy keeps serving, and only
+        :meth:`subscribe`\\ s at the atomic swap."""
         if self._tree is not None:
             raise RuntimeError("policy is already attached")
         self._tree = tree
+        if subscribe:
+            self.subscribe()
+
+    def subscribe(self) -> None:
+        """Add this policy's handlers to the tree's listener lists."""
+        tree = self.tree
+        if self.handle_event in tree.listeners:
+            raise RuntimeError("policy is already subscribed")
         tree.listeners.append(self.handle_event)
         tree.grow_listeners.append(self.handle_grow)
+
+    def detach(self) -> None:
+        """Unsubscribe from the tree and drop the binding, making the
+        policy inert (its filters stop being maintained and it can be
+        discarded). Safe to call whether or not it ever subscribed."""
+        tree = self._tree
+        if tree is not None:
+            if self.handle_event in tree.listeners:
+                tree.listeners.remove(self.handle_event)
+            if self.handle_grow in tree.grow_listeners:
+                tree.grow_listeners.remove(self.handle_grow)
+        self._tree = None
 
     @abstractmethod
     def handle_event(self, event: TreeEvent) -> None:

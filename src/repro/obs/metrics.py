@@ -24,6 +24,7 @@ and one increment.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil
 from typing import Callable, Sequence
 
 #: Modelled-latency bounds in nanoseconds: one memory I/O (~100 ns) up
@@ -146,6 +147,40 @@ class Histogram:
                 within = (target - (cumulative - bucket_count)) / bucket_count
                 return lower + (upper - lower) * min(max(within, 0.0), 1.0)
         return self.bounds[-1]
+
+    def quantile_nearest(self, q: float) -> float:
+        """Nearest-rank q-quantile: the upper bound of the bucket holding
+        the ``ceil(q * count)``-th observation. Unlike :meth:`quantile`
+        this never interpolates, so it is monotone in ``q``, stable under
+        bucket refinement, and returns an actual bucket boundary — the
+        form the tuning sensor and bench suite want for threshold
+        comparisons. Overflow-bucket ranks clamp to the largest finite
+        bound, matching :meth:`quantile`."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, ceil(q * self.count))
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i == len(self.bounds):  # +Inf overflow bucket
+                    return self.bounds[-1]
+                return self.bounds[i]
+        return self.bounds[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile_nearest(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile_nearest(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile_nearest(0.99)
 
     @property
     def mean(self) -> float:

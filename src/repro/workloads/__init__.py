@@ -1,8 +1,26 @@
 """Workload generation: key spaces, uniform and Zipfian access patterns,
 the YCSB-B mix of the paper's throughput experiment, bulk loaders that
-drive a store (or bare tree) into a target state, and the unified
-request stream the serving layer's load generator replays."""
+drive a store (or bare tree) into a target state, the unified request
+stream the serving layer's load generator replays, drift scenarios for
+the adaptive-tuning loop, and the canonical ``repro bench`` suite."""
 
+from repro.workloads.bench import (
+    BenchCase,
+    default_cases,
+    run_bench,
+    run_case,
+    write_artifact,
+)
+from repro.workloads.drift import (
+    DriftPhase,
+    apply_ops,
+    grow_n_scenario,
+    phase_shift_scenario,
+    scenario,
+    scenario_summary,
+    skew_shift_scenario,
+    total_ops,
+)
 from repro.workloads.generators import (
     UniformGenerator,
     ZipfianGenerator,
@@ -18,13 +36,26 @@ from repro.workloads.loaders import (
 )
 
 __all__ = [
+    "BenchCase",
+    "DriftPhase",
     "UniformGenerator",
     "ZipfianGenerator",
+    "apply_ops",
+    "default_cases",
     "fill_tree_to_levels",
+    "grow_n_scenario",
     "negative_keys",
+    "phase_shift_scenario",
     "populate_store",
     "request_stream",
+    "run_bench",
+    "run_case",
+    "scenario",
+    "scenario_summary",
+    "skew_shift_scenario",
     "sublevel_sample_keys",
+    "total_ops",
+    "write_artifact",
     "ycsb_b",
     "zipf_over",
 ]

@@ -1,0 +1,181 @@
+"""The canonical engine benchmark suite behind ``repro bench``.
+
+A small fixed matrix — uniform / zipf / ycsb-b point+scan mixes over
+the leveled and tiered presets — each case run on a fresh store with a
+deterministic seed, reporting the three currencies the repo measures
+everything in:
+
+* **throughput** — real wall-clock ops/s of the Python engine (noisy,
+  machine-dependent, still useful for relative movement);
+* **counted I/Os per op** — the reproducible quantity (storage reads /
+  writes / memory I/Os per operation from snapshot diffs);
+* **modelled latency** — the counted I/Os priced by the store's
+  :class:`~repro.common.cost.CostModel`, plus nearest-rank wall-clock
+  percentiles per op.
+
+``BENCH_core.json`` is the artifact future PRs diff against to make
+adaptive-vs-static (and any engine change) measurable over time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.config import EngineConfig, build_store
+from repro.obs.metrics import Histogram, WIRE_LATENCY_US_BUCKETS
+from repro.workloads.generators import request_stream
+
+#: The canonical case matrix: every workload kind over both presets.
+CANONICAL_CASES: tuple[tuple[str, str], ...] = tuple(
+    (preset, workload)
+    for preset in ("leveled", "tiered")
+    for workload in ("uniform", "zipf", "ycsb-b")
+)
+
+_PRESETS = {
+    "leveled": EngineConfig.leveled,
+    "tiered": EngineConfig.tiered,
+    "lazy-leveled": EngineConfig.lazy_leveled,
+}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark cell: a preset, a workload, and its mix."""
+
+    preset: str
+    workload: str
+    read_fraction: float = 0.95
+    #: Issue one short range scan every N point ops (0 = no scans).
+    scan_every: int = 50
+    scan_width: int = 32
+
+
+def default_cases() -> list[BenchCase]:
+    return [BenchCase(preset=p, workload=w) for p, w in CANONICAL_CASES]
+
+
+def run_case(
+    case: BenchCase,
+    ops: int = 2000,
+    preload: int = 500,
+    seed: int = 0,
+    policy: str = "chucky",
+    bits_per_entry: float = 10.0,
+) -> dict[str, Any]:
+    """Run one case on a fresh store; returns its JSON-ready row."""
+    config = _PRESETS[case.preset](
+        size_ratio=4,
+        buffer_entries=64,
+        block_entries=16,
+        cache_blocks=64,
+        policy=policy,
+        bits_per_entry=bits_per_entry,
+    )
+    store = build_store(config)
+    keys = list(range(preload))
+    for key in keys:
+        store.put(key, f"v{key}")
+    store.flush()
+
+    wall = Histogram("bench_wall_us", WIRE_LATENCY_US_BUCKETS)
+    snap = store.snapshot()
+    requests = request_stream(
+        case.workload, keys, ops, read_fraction=case.read_fraction, seed=seed
+    )
+    scans = 0
+    start = time.perf_counter()
+    for index, (op, key) in enumerate(requests):
+        op_start = time.perf_counter_ns()
+        if op == "read":
+            store.get(key)
+        else:
+            store.put(key, f"u{key}")
+        if case.scan_every and (index + 1) % case.scan_every == 0:
+            lo = key % max(1, preload - case.scan_width)
+            for _ in store.scan(lo, lo + case.scan_width):
+                pass
+            scans += 1
+        wall.observe((time.perf_counter_ns() - op_start) / 1_000)
+    elapsed = time.perf_counter() - start
+
+    total_ops = ops + scans
+    store.flush()  # account buffered updates' write I/O in the diff
+    after = store.snapshot()
+    memory_ios = sum(after.memory.values()) - sum(snap.memory.values())
+    breakdown = store.latency_since(snap, operations=total_ops)
+    return {
+        "name": f"{case.preset}/{case.workload}",
+        "preset": case.preset,
+        "workload": case.workload,
+        "read_fraction": case.read_fraction,
+        "ops": total_ops,
+        "scans": scans,
+        "wall_s": round(elapsed, 4),
+        "throughput_ops_per_s": round(total_ops / elapsed, 1) if elapsed else 0.0,
+        "counted_per_op": {
+            "storage_reads": (after.storage_reads - snap.storage_reads)
+            / total_ops,
+            "storage_writes": (after.storage_writes - snap.storage_writes)
+            / total_ops,
+            "memory_ios": memory_ios / total_ops,
+        },
+        "false_positives": after.false_positives - snap.false_positives,
+        "cache_hit_ratio": round(
+            (after.cache_hits - snap.cache_hits)
+            / max(
+                1,
+                (after.cache_hits - snap.cache_hits)
+                + (after.cache_misses - snap.cache_misses),
+            ),
+            4,
+        ),
+        "modelled_ns_per_op": breakdown.total_ns,
+        "modelled_breakdown_ns": breakdown.as_dict(),
+        "wall_latency_us": {
+            "p50": wall.p50,
+            "p95": wall.p95,
+            "p99": wall.p99,
+            "mean": round(wall.mean, 2),
+        },
+    }
+
+
+def run_bench(
+    ops: int = 2000,
+    preload: int = 500,
+    seed: int = 0,
+    policy: str = "chucky",
+    bits_per_entry: float = 10.0,
+    cases: list[BenchCase] | None = None,
+) -> dict[str, Any]:
+    """Run the suite; returns the full JSON-ready report."""
+    rows = [
+        run_case(
+            case,
+            ops=ops,
+            preload=preload,
+            seed=seed,
+            policy=policy,
+            bits_per_entry=bits_per_entry,
+        )
+        for case in (cases if cases is not None else default_cases())
+    ]
+    return {
+        "suite": "core",
+        "ops_per_case": ops,
+        "preload": preload,
+        "seed": seed,
+        "policy": policy,
+        "bits_per_entry": bits_per_entry,
+        "cases": rows,
+    }
+
+
+def write_artifact(report: dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

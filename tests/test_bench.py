@@ -1,0 +1,108 @@
+"""The ``repro bench`` canonical suite and its BENCH_core.json artifact."""
+
+import json
+
+from repro.cli import main
+from repro.workloads.bench import (
+    CANONICAL_CASES,
+    BenchCase,
+    default_cases,
+    run_bench,
+    run_case,
+    write_artifact,
+)
+
+
+class TestBenchSuite:
+    def test_canonical_matrix_covers_presets_and_workloads(self):
+        cases = default_cases()
+        assert len(cases) == len(CANONICAL_CASES) == 6
+        assert {c.preset for c in cases} == {"leveled", "tiered"}
+        assert {c.workload for c in cases} == {"uniform", "zipf", "ycsb-b"}
+
+    def test_run_case_reports_all_three_currencies(self):
+        row = run_case(
+            BenchCase(preset="leveled", workload="uniform"),
+            ops=300,
+            preload=150,
+        )
+        assert row["name"] == "leveled/uniform"
+        assert row["ops"] >= 300 and row["scans"] > 0
+        assert row["throughput_ops_per_s"] > 0
+        per_op = row["counted_per_op"]
+        assert per_op["memory_ios"] > 0
+        assert per_op["storage_reads"] >= 0
+        assert per_op["storage_writes"] > 0  # the final flush is counted
+        assert row["modelled_ns_per_op"] > 0
+        assert set(row["wall_latency_us"]) == {"p50", "p95", "p99", "mean"}
+        assert row["wall_latency_us"]["p99"] >= row["wall_latency_us"]["p50"]
+
+    def test_scans_can_be_disabled(self):
+        row = run_case(
+            BenchCase(preset="tiered", workload="zipf", scan_every=0),
+            ops=200,
+            preload=100,
+        )
+        assert row["scans"] == 0 and row["ops"] == 200
+
+    def test_report_and_artifact_round_trip(self, tmp_path):
+        report = run_bench(
+            ops=200,
+            preload=100,
+            cases=[BenchCase(preset="leveled", workload="ycsb-b")],
+        )
+        assert report["suite"] == "core" and len(report["cases"]) == 1
+        path = tmp_path / "BENCH_core.json"
+        write_artifact(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["cases"][0]["name"] == "leveled/ycsb-b"
+        assert loaded["policy"] == "chucky"
+
+    def test_counted_ios_are_deterministic(self):
+        case = BenchCase(preset="leveled", workload="uniform")
+        a = run_case(case, ops=250, preload=120, seed=9)
+        b = run_case(case, ops=250, preload=120, seed=9)
+        assert a["counted_per_op"] == b["counted_per_op"]
+        assert a["false_positives"] == b["false_positives"]
+
+
+class TestBenchCLI:
+    def test_bench_command_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        rc = main(
+            ["bench", "--ops", "150", "--preload", "80", "--out", str(out)]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "leveled/uniform" in printed and "tiered/ycsb-b" in printed
+        report = json.loads(out.read_text())
+        assert len(report["cases"]) == 6
+        assert all(
+            row["modelled_ns_per_op"] > 0 for row in report["cases"]
+        )
+
+    def test_tune_command_grow_n(self, tmp_path, capsys):
+        out = tmp_path / "tune.json"
+        rc = main(
+            [
+                "tune",
+                "--scenario", "grow-n",
+                "--window-ops", "256",
+                "--json", str(out),
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "migrate-filter" in printed
+        log = json.loads(out.read_text())
+        applied = [
+            d for d in log["status"]["decisions"] if d["applied"]
+        ]
+        assert [d["action"] for d in applied] == ["migrate-filter"]
+        assert log["status"]["effective_policy"] == "chucky"
+
+    def test_tune_static_mode_never_acts(self, capsys):
+        rc = main(["tune", "--scenario", "phase-shift", "--static"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "applied=0" in printed and "mode=static" in printed

@@ -367,7 +367,7 @@ class TestFaultInjector:
         for preset, shards in (("tiered", 1), ("leveled", 2)):
             report = run_faultcheck(
                 FaultcheckConfig(
-                    seeds=3, shards=shards, preset=preset, ops=40
+                    seeds=5, shards=shards, preset=preset, ops=40
                 )
             )
             assert report.ok, report.violations
@@ -570,6 +570,59 @@ class TestFaultcheckCampaigns:
         assert data["ok"] is True
         assert data["schedules_run"] == len(data["results"])
         assert data["results"][0]["schedule"] == "trace"
+
+    def test_migration_schedules_cover_all_crash_points(self):
+        """Five seeds rotate through the four ``tuning.migrate.*``
+        points plus the crashed merge-policy switch; every schedule must
+        crash, recover cleanly (under the old config before the swap,
+        the new config after) and match the model — the crash-safety
+        contract of live retuning."""
+        report = run_faultcheck(
+            FaultcheckConfig(
+                seeds=5, ops=30, schedules_per_seed=0, group_commit=False
+            )
+        )
+        assert report.ok, report.violations
+        migration = [
+            r for r in report.results if r.schedule.startswith("migration")
+        ]
+        assert len(migration) == 5
+        assert all(r.crashed for r in migration)
+        for point in (
+            "tuning.migrate.before_build",
+            "tuning.migrate.mid_build",
+            "tuning.migrate.before_swap",
+            "tuning.migrate.after_swap",
+            "tuning.switch.before_commit",
+        ):
+            assert point in report.crash_points_seen, point
+
+    def test_migration_schedules_sharded_bloom_start(self):
+        report = run_faultcheck(
+            FaultcheckConfig(
+                seeds=5,
+                shards=3,
+                policy="bloom",
+                ops=30,
+                schedules_per_seed=0,
+                group_commit=False,
+            )
+        )
+        assert report.ok, report.violations
+
+    def test_migration_disabled_runs_no_migration_schedules(self):
+        report = run_faultcheck(
+            FaultcheckConfig(
+                seeds=1,
+                ops=25,
+                schedules_per_seed=1,
+                group_commit=False,
+                migration=False,
+            )
+        )
+        assert not any(
+            r.schedule.startswith("migration") for r in report.results
+        )
 
     def test_workload_is_deterministic_and_ends_with_bytes_put(self):
         first = make_workload(9, 40)

@@ -70,6 +70,41 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", (10, 10))
 
+    def test_nearest_rank_picks_bucket_upper_bound(self):
+        h = Histogram("h", (10, 20, 30))
+        for _ in range(50):
+            h.observe(5)  # bucket <=10
+        for _ in range(49):
+            h.observe(15)  # bucket <=20
+        h.observe(25)  # bucket <=30
+        assert h.quantile_nearest(0.5) == 10  # rank 50 is the last <=10
+        assert h.quantile_nearest(0.51) == 20
+        assert h.quantile_nearest(0.99) == 20
+        assert h.quantile_nearest(1.0) == 30
+
+    def test_nearest_rank_overflow_clamps_to_last_finite_bound(self):
+        h = Histogram("h", (10, 20))
+        h.observe(5)
+        h.observe(1e9)
+        assert h.quantile_nearest(1.0) == 20
+
+    def test_nearest_rank_accessors_and_edges(self):
+        h = Histogram("h", (1, 2, 4, 8))
+        assert h.p50 == 0.0  # empty
+        for v in (1, 1, 2, 3, 7):
+            h.observe(v)
+        assert h.p50 == 2
+        assert h.p95 == 8 and h.p99 == 8
+        assert h.quantile_nearest(0.0) == 1  # rank clamps to 1
+        with pytest.raises(ValueError):
+            h.quantile_nearest(1.5)
+
+    def test_nearest_rank_single_observation(self):
+        h = Histogram("h", (10, 20))
+        h.observe(12)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile_nearest(q) == 20
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
