@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven commands for poking at the system without writing code:
+Thirteen commands for poking at the system without writing code:
 
 * ``info``      — package, geometry and codebook overview
 * ``fpr``       — model + measured FPR comparison for one geometry
@@ -12,7 +12,11 @@ Eleven commands for poking at the system without writing code:
 * ``stats``     — run a workload and render the metrics registry in
   Prometheus text exposition format (or JSON with ``--format json``)
 * ``trace``     — run a workload and dump the last N per-operation
-  trace spans (modelled-time durations, nesting, attributes)
+  trace spans (modelled-time durations, nesting, attributes);
+  ``--request <trace-id>`` instead renders one sampled request's
+  causal span tree — from a running server (``--host/--port``) or a
+  loadgen traces artifact (``--traces``) — and ``--list`` shows which
+  trace ids a server currently holds
 * ``serve``     — expose a (sharded) durable store over TCP: binary
   protocol, group commit, BUSY backpressure, graceful drain on SIGINT
   (``--adapt`` attaches the adaptive-tuning controller; decisions are
@@ -25,6 +29,13 @@ Eleven commands for poking at the system without writing code:
   same ops untuned for comparison)
 * ``loadgen``   — drive a running server closed-loop over N
   connections and write the ``BENCH_serve.json`` latency artifact
+  (``--trace-every N`` head-samples requests into the wire trace
+  header; ``--traces-out`` writes the combined span trees)
+* ``dash``      — live terminal dashboard over a running server's
+  STATS payload: counters, telemetry sparklines, SLO burn rates
+* ``benchdiff`` — regression gate: diff fresh BENCH artifacts against
+  the pinned baselines with per-metric tolerance bands; exits
+  non-zero when any metric leaves its band
 * ``faultcheck``— explore seeded crash schedules (torn WAL tails,
   partial run writes, crashes at every registered commit point) and
   verify the recovery invariants after each one; exits non-zero on
@@ -36,6 +47,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import random
 import signal
 import sys
@@ -202,17 +214,170 @@ def cmd_workload(args) -> int:
 
 
 def cmd_stats(args) -> int:
+    from repro.obs.slo import SLOEngine, default_store_slos
+    from repro.obs.timeseries import TimeSeriesStore
+
     obs = Observability()
+    # Two synthetic-time samples bracket the workload so the SLO
+    # engine's windowed burn rates have a before/after delta to work
+    # with; the slo_* gauges then ride along in the rendered registry.
+    timeseries = TimeSeriesStore(obs.registry)
+    slo_engine = SLOEngine(
+        default_store_slos(), timeseries, registry=obs.registry
+    )
+    timeseries.sample(now=0.0)
     store, _, _ = _drive_workload(args, obs)
     del store
+    timeseries.sample(now=60.0)
+    statuses = slo_engine.evaluate(now=60.0)
     if args.format == "json":
         print(render_json(obs.registry))
     else:
         sys.stdout.write(render_prometheus(obs.registry))
+    alerting = [s.name for s in statuses if s.alerting]
+    print(
+        "# slo: " + (
+            "ALERTING " + ",".join(alerting) if alerting
+            else f"{len(statuses)} objectives ok"
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _span_forest(spans: list[dict]) -> list[dict]:
+    """Stitch a flat list of (possibly nested) span dicts into trees.
+
+    Spans from different processes arrive as separate top-level dicts
+    linked only by ``parent_id``; this grafts each one under its
+    parent when the parent is present anywhere in the forest, keeping
+    already-nested ``children`` intact.
+    """
+    index: dict[int, dict] = {}
+
+    def _walk(node: dict) -> None:
+        node.setdefault("children", [])
+        if node.get("span_id"):
+            index[node["span_id"]] = node
+        for child in node["children"]:
+            _walk(child)
+
+    for span in spans:
+        _walk(span)
+    roots = []
+    for span in spans:
+        parent = index.get(span.get("parent_id", 0))
+        if parent is not None and parent is not span:
+            parent["children"].append(span)
+        else:
+            roots.append(span)
+    return sorted(roots, key=lambda s: s.get("start_ns", 0))
+
+
+def _print_span_tree(node: dict, depth: int = 0) -> None:
+    indent = "  " * depth
+    wall_us = node.get("wall_ns", 0) / 1_000
+    modelled_us = node.get("duration_ns", 0) / 1_000
+    attrs = node.get("attrs", {})
+    attr_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    error = node.get("error")
+    line = (
+        f"{indent}{node.get('name', '?'):<{max(1, 28 - len(indent))}} "
+        f"wall {wall_us:>9.1f}us  modelled {modelled_us:>9.1f}us"
+    )
+    if attr_text:
+        line += f"  [{attr_text}]"
+    if error:
+        line += f"  ERROR: {error}"
+    print(line)
+    for child in sorted(
+        node.get("children", []), key=lambda s: s.get("start_ns", 0)
+    ):
+        _print_span_tree(child, depth + 1)
+
+
+def _trace_sink_warnings(summary: dict) -> None:
+    """Satellite: capacity / drop warnings for the server's trace sink.
+
+    Distinguishes sink evictions (sampled traces actually lost) from
+    ring churn (``spans_dropped_total`` also counts untraced spans
+    rotating out of the bounded recent-span ring, which is normal)."""
+    evicted_traces = summary.get("dropped_traces", 0)
+    evicted_spans = summary.get("dropped_spans", 0)
+    if evicted_traces or evicted_spans:
+        print(
+            f"warning: trace sink evicted {evicted_traces} sampled "
+            f"trace(s) / dropped {evicted_spans} span(s) at capacity — "
+            "older sampled traces are gone",
+            file=sys.stderr,
+        )
+    capacity = summary.get("capacity", 0)
+    if capacity and summary.get("traces", 0) >= capacity:
+        print(
+            f"warning: trace sink full ({capacity} traces) — new sampled "
+            "traces evict the oldest",
+            file=sys.stderr,
+        )
+
+
+def _cmd_trace_remote(args) -> int:
+    """``repro trace --request/--list``: spans from a live server or a
+    loadgen traces artifact, rendered as a causal tree."""
+    from repro.obs.context import format_trace_id, parse_trace_id
+    from repro.server.client import SyncClient
+
+    wanted = parse_trace_id(args.request) if args.request else 0
+    if args.traces:
+        with open(args.traces, encoding="utf-8") as fh:
+            artifact = json.load(fh)
+        traces = {t["trace_id"]: t for t in artifact.get("traces", [])}
+        if args.list or not wanted:
+            for trace_id in traces:
+                print(format_trace_id(trace_id))
+            return 0
+        found = traces.get(wanted)
+        if found is None:
+            print(f"trace {args.request} not in {args.traces}",
+                  file=sys.stderr)
+            return 1
+        for root in _span_forest(list(found["spans"])):
+            _print_span_tree(root)
+        return 0
+    try:
+        with SyncClient(args.host, args.port) as client:
+            summary = client.fetch_trace(0) or {}
+            if args.list or not wanted:
+                if not summary.get("tracing_enabled", False):
+                    print("server tracing is disabled", file=sys.stderr)
+                    return 1
+                _trace_sink_warnings(summary)
+                ids = summary.get("trace_ids", [])
+                print(f"{summary.get('traces', 0)} trace(s) held "
+                      f"(capacity {summary.get('capacity', 0)}):")
+                for trace_id in ids:
+                    print(f"  {format_trace_id(trace_id)}")
+                return 0
+            payload = client.fetch_trace(wanted)
+    except (ConnectionRefusedError, OSError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    if payload is None:
+        _trace_sink_warnings(summary)
+        print(
+            f"trace {args.request} not held by the server (evicted, "
+            "unsampled, or never seen)", file=sys.stderr,
+        )
+        return 1
+    _trace_sink_warnings(summary)
+    print(f"trace {format_trace_id(wanted)}:")
+    for root in _span_forest(list(payload.get("spans", []))):
+        _print_span_tree(root)
     return 0
 
 
 def cmd_trace(args) -> int:
+    if args.request or args.list:
+        return _cmd_trace_remote(args)
     obs = Observability(trace_ring=max(args.last, 1))
     store, _, _ = _drive_workload(args, obs)
     if isinstance(store, ShardedKVStore):
@@ -269,6 +434,8 @@ def cmd_bench(args) -> int:
 
 
 def cmd_tune(args) -> int:
+    from repro.obs.slo import SLOEngine, default_store_slos
+    from repro.obs.timeseries import TimeSeriesStore
     from repro.tuning import PlannerConfig, TuningConfig, TuningController
     from repro.tuning.sensor import aggregate_snapshot
     from repro.workloads.drift import apply_ops, scenario, total_ops
@@ -294,6 +461,15 @@ def cmd_tune(args) -> int:
         ),
         observability=obs,
     )
+    # Telemetry + SLO ride along: one snapshot per phase (synthetic
+    # 30s spacing so the burn windows see deltas), statuses fed to the
+    # controller's on_slo hook and reported in its status() output.
+    timeseries = TimeSeriesStore(obs.registry)
+    slo_engine = SLOEngine(
+        default_store_slos(), timeseries, registry=obs.registry
+    )
+    slo_engine.add_listener(controller.on_slo)
+    timeseries.sample(now=0.0)
     mode = "static (controller detached)" if args.static else "adaptive"
     if not args.static:
         controller.attach()
@@ -305,23 +481,31 @@ def cmd_tune(args) -> int:
         flush=True,
     )
     phase_rows = []
-    for phase in phases:
+    for phase_index, phase in enumerate(phases):
         before = aggregate_snapshot(store)
         apply_ops(store, phase.ops)
         after = aggregate_snapshot(store)
+        phase_now = (phase_index + 1) * 30.0
+        timeseries.sample(now=phase_now)
+        statuses = slo_engine.evaluate(now=phase_now)
         row = {
             "phase": phase.name,
             "ops": len(phase.ops),
             "storage_reads": after.storage_reads - before.storage_reads,
             "storage_writes": after.storage_writes - before.storage_writes,
             "policy_after": controller.effective_config.policy,
+            "slo_alerting": [s.name for s in statuses if s.alerting],
         }
         phase_rows.append(row)
+        alert_note = (
+            f"  SLO! {','.join(row['slo_alerting'])}"
+            if row["slo_alerting"] else ""
+        )
         print(
             f"  {phase.name:10s}: {row['ops']:>5d} ops  "
             f"{row['storage_reads']:>6d} storage reads  "
             f"{row['storage_writes']:>6d} storage writes  "
-            f"[policy={row['policy_after']}]"
+            f"[policy={row['policy_after']}]{alert_note}"
         )
     status = controller.status()
     applied = [d for d in status["decisions"] if d["applied"]]
@@ -413,6 +597,8 @@ async def _serve_main(args) -> int:
             max_inflight=args.max_inflight,
             max_queue_depth=args.queue_depth,
             group_commit_batch=args.commit_batch,
+            telemetry_interval=args.telemetry_interval,
+            telemetry_capacity=args.telemetry_capacity,
         ),
         observability=obs,
     )
@@ -464,7 +650,13 @@ def cmd_serve(args) -> int:
 
 
 def cmd_loadgen(args) -> int:
-    from repro.server import LoadgenConfig, run_loadgen, write_artifact
+    from repro.server import (
+        LoadgenConfig,
+        pop_traces,
+        run_loadgen,
+        write_artifact,
+        write_traces_artifact,
+    )
 
     cfg = LoadgenConfig(
         host=args.host,
@@ -478,12 +670,15 @@ def cmd_loadgen(args) -> int:
         value_size=args.value_size,
         seed=args.seed,
         preload=not args.no_preload,
+        trace_every=args.trace_every,
+        trace_slow_us=args.trace_slow_us,
     )
     try:
         summary = asyncio.run(run_loadgen(cfg))
     except (ConnectionRefusedError, OSError) as exc:
         print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 1
+    traces = pop_traces(summary)
     print(
         f"{summary['total_ops']} ops over {cfg.connections} connections "
         f"in {summary['elapsed_s']:.2f}s "
@@ -493,18 +688,84 @@ def cmd_loadgen(args) -> int:
     )
     for op in ("read", "update"):
         stats = summary["latency_us"][op]
+        counters = summary["op_counters"][op]
         if stats["count"]:
             print(
                 f"  {op:6s}: n={stats['count']} p50={stats['p50_us']:.0f}us "
-                f"p95={stats['p95_us']:.0f}us p99={stats['p99_us']:.0f}us"
+                f"p95={stats['p95_us']:.0f}us p99={stats['p99_us']:.0f}us "
+                f"busy_retries={counters['busy_retries']} "
+                f"errors={counters['errors']}"
             )
+    if "tracing" in summary:
+        tracing = summary["tracing"]
+        print(
+            f"  traces: {tracing['sampled']} sampled, "
+            f"{tracing['slow_upgrades']} slow upgrades, "
+            f"{tracing['complete_traces']} combined trees collected"
+        )
     try:
         write_artifact(summary, args.out)
     except OSError as exc:
         print(f"cannot write {args.out}: {exc}", file=sys.stderr)
         return 1
     print(f"artifact written to {args.out}")
+    if traces is not None and args.traces_out:
+        try:
+            write_traces_artifact(traces, args.traces_out)
+        except OSError as exc:
+            print(f"cannot write {args.traces_out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"traces artifact written to {args.traces_out}")
     return 1 if summary["errors"] else 0
+
+
+def cmd_dash(args) -> int:
+    from repro.obs.dash import run_dash
+
+    try:
+        run_dash(
+            args.host,
+            args.port,
+            interval=args.interval,
+            iterations=args.iterations,
+            once=args.once,
+        )
+    except BrokenPipeError:
+        raise  # stdout pipe closed, not a server problem — main() absorbs it
+    except (ConnectionRefusedError, OSError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_benchdiff(args) -> int:
+    from repro.workloads.benchdiff import (
+        diff_core,
+        diff_serve,
+        format_report,
+        load_artifact,
+    )
+
+    pairs = []
+    if args.core:
+        pairs.append(("core", args.core, args.core_baseline, diff_core))
+    if args.serve:
+        pairs.append(("serve", args.serve, args.serve_baseline, diff_serve))
+    if not pairs:
+        print("nothing to diff: pass --core and/or --serve", file=sys.stderr)
+        return 2
+    ok = True
+    for name, current_path, baseline_path, differ in pairs:
+        try:
+            baseline = load_artifact(baseline_path)
+            current = load_artifact(current_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot load {name} artifacts: {exc}", file=sys.stderr)
+            return 2
+        result = differ(baseline, current)
+        print(format_report(result))
+        ok = ok and result["ok"]
+    return 0 if ok else 1
 
 
 def cmd_faultcheck(args) -> int:
@@ -598,6 +859,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_trace)
     p_trace.add_argument("--last", type=int, default=10,
                          help="number of most recent spans to dump")
+    p_trace.add_argument("--request", metavar="TRACE_ID", default=None,
+                         help="render one sampled request's span tree "
+                              "(hex 0x... or decimal trace id) instead of "
+                              "running a workload")
+    p_trace.add_argument("--list", action="store_true",
+                         help="list the trace ids a running server holds")
+    p_trace.add_argument("--host", default="127.0.0.1",
+                         help="server to fetch spans from (with --request/"
+                              "--list)")
+    p_trace.add_argument("--port", type=int, default=7411)
+    p_trace.add_argument("--traces", metavar="FILE", default=None,
+                         help="read spans from a loadgen --traces-out "
+                              "artifact instead of a live server")
     p_trace.set_defaults(func=cmd_trace)
 
     p_serve = sub.add_parser(
@@ -627,6 +901,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="tuning sensor window, in operations")
     p_serve.add_argument("--adapt-interval", type=float, default=0.25,
                          help="seconds between queued-decision sweeps")
+    p_serve.add_argument("--telemetry-interval", type=float, default=1.0,
+                         help="seconds between telemetry snapshots / SLO "
+                              "evaluations (0 disables both)")
+    p_serve.add_argument("--telemetry-capacity", type=int, default=512,
+                         help="ring capacity per telemetry series")
     p_serve.set_defaults(func=cmd_serve)
 
     p_bench = sub.add_parser(
@@ -693,7 +972,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip seeding the key population first")
     p_lg.add_argument("--out", metavar="FILE", default="BENCH_serve.json",
                       help="latency/throughput artifact path")
+    p_lg.add_argument("--trace-every", type=int, default=0,
+                      help="head-sample 1 in N requests into the wire "
+                           "trace header (0 = tracing off)")
+    p_lg.add_argument("--trace-slow-us", type=float, default=0.0,
+                      help="also record any request slower than this "
+                           "(client-side spans only)")
+    p_lg.add_argument("--traces-out", metavar="FILE", default=None,
+                      help="write combined client+server span trees here")
     p_lg.set_defaults(func=cmd_loadgen)
+
+    p_dash = sub.add_parser(
+        "dash", help="live terminal dashboard over a running server"
+    )
+    p_dash.add_argument("--host", default="127.0.0.1")
+    p_dash.add_argument("--port", type=int, default=7411)
+    p_dash.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between STATS polls")
+    p_dash.add_argument("--iterations", type=int, default=0,
+                        help="stop after N frames (0 = until Ctrl-C)")
+    p_dash.add_argument("--once", action="store_true",
+                        help="print a single frame without clearing the "
+                             "screen (CI smoke mode)")
+    p_dash.set_defaults(func=cmd_dash)
+
+    p_bd = sub.add_parser(
+        "benchdiff",
+        help="diff fresh BENCH artifacts against pinned baselines",
+    )
+    p_bd.add_argument("--core", metavar="FILE", default=None,
+                      help="fresh BENCH_core.json to check")
+    p_bd.add_argument("--core-baseline", metavar="FILE",
+                      default="benchmarks/baselines/BENCH_core.json")
+    p_bd.add_argument("--serve", metavar="FILE", default=None,
+                      help="fresh BENCH_serve.json to check")
+    p_bd.add_argument("--serve-baseline", metavar="FILE",
+                      default="benchmarks/baselines/BENCH_serve.json")
+    p_bd.set_defaults(func=cmd_benchdiff)
 
     p_fc = sub.add_parser(
         "faultcheck",
@@ -729,7 +1044,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-listing; not an
+        # error.  Detach stdout so the interpreter does not raise again
+        # while flushing at exit.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

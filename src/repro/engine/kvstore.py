@@ -32,6 +32,7 @@ from repro.lsm.tree import LSMTree, RunManifest
 from repro.lsm.wal import WriteAheadLog
 from repro.obs import NULL_OBS, Observability
 from repro.obs.metrics import LATENCY_NS_BUCKETS, SUBLEVELS_BUCKETS
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: Memory-I/O categories that make up the 'filter' latency component.
 _FILTER_CATEGORIES = ("filter", "filter_dt", "filter_rt", "filter_aht", "filter_ovf")
@@ -504,7 +505,7 @@ class KVStore:
         else:
             start = self._modelled_ns()
             with self.obs.tracer.span("read", key=key) as span:
-                result = self._read_impl(key)
+                result = self._read_impl(key, tracer=self.obs.tracer)
                 span.set(
                     found=result.found,
                     false_positives=result.false_positives,
@@ -519,32 +520,44 @@ class KVStore:
             self._tuning.on_read(key, result)
         return result
 
-    def _read_impl(self, key: int) -> ReadResult:
+    def _read_impl(self, key: int, tracer: Tracer = NULL_TRACER) -> ReadResult:
+        # ``tracer`` (the shard's own, passed only on the instrumented
+        # path) adds memtable/filter/storage probe child spans under
+        # the caller's "read" span — the per-hop detail one traced
+        # request's tree shows. Spans never touch the I/O counters, so
+        # the counted work is identical with or without them.
         self.queries += 1
-        entry = self.memtable.get(key)
+        with tracer.span("memtable_probe"):
+            entry = self.memtable.get(key)
         if entry is not None:
             return ReadResult(self._value_of(entry), not entry.is_tombstone, 0, 0)
         occupied = self.tree.occupied_runs()
         false_positives = 0
         probed = 0
-        for sublevel in self.policy.candidates(key, occupied):
-            run = self.tree.run_at(sublevel)
-            if run is None:
-                # The filter pointed at an empty sub-level: a false
-                # positive that costs no storage I/O.
+        with tracer.span("filter_probe") as fspan:
+            for sublevel in self.policy.candidates(key, occupied):
+                run = self.tree.run_at(sublevel)
+                if run is None:
+                    # The filter pointed at an empty sub-level: a false
+                    # positive that costs no storage I/O.
+                    false_positives += 1
+                    continue
+                probed += 1
+                with tracer.span("run_probe", sublevel=sublevel):
+                    found = run.get(key, self.counters.memory, self.tree.cache)
+                if found is not None:
+                    self.false_positives += false_positives
+                    fspan.set(
+                        false_positives=false_positives, runs_probed=probed
+                    )
+                    return ReadResult(
+                        self._value_of(found),
+                        not found.is_tombstone,
+                        false_positives,
+                        probed,
+                    )
                 false_positives += 1
-                continue
-            probed += 1
-            found = run.get(key, self.counters.memory, self.tree.cache)
-            if found is not None:
-                self.false_positives += false_positives
-                return ReadResult(
-                    self._value_of(found),
-                    not found.is_tombstone,
-                    false_positives,
-                    probed,
-                )
-            false_positives += 1
+            fspan.set(false_positives=false_positives, runs_probed=probed)
         self.false_positives += false_positives
         return ReadResult(None, False, false_positives, probed)
 

@@ -1,4 +1,5 @@
-"""End-to-end observability: metrics registry, trace spans, exporters.
+"""End-to-end observability: metrics registry, trace spans, exporters,
+trace context, telemetry time-series, and SLOs.
 
 Usage with the store::
 
@@ -12,6 +13,13 @@ Usage with the store::
     for span in obs.tracer.recent(10):            # last 10 operations
         print(span.to_dict())
 
+One :class:`Observability` is a *family*: ``child(prefix)`` bundles
+(one per shard) share the root's metrics export, trace carrier, and
+trace sink, while recording spans in their own tracer with their own
+modelled clock. The shared carrier + sink are what let one sampled
+request form a single causal tree across the server tracer, the shard
+tracers, and — via the wire protocol's trace header — the client.
+
 When no :class:`Observability` is passed, every component falls back to
 the shared no-op registry/tracer (:data:`NULL_OBS`): no allocation, no
 state, and — crucially for this repo — counted I/Os that are
@@ -22,6 +30,16 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.context import (
+    HeadSampler,
+    TraceBuffer,
+    TraceCarrier,
+    TraceContext,
+    format_trace_id,
+    new_span_id,
+    new_trace_id,
+    parse_trace_id,
+)
 from repro.obs.export import (
     parse_prometheus,
     registry_to_dict,
@@ -55,15 +73,36 @@ class Observability:
     default via :data:`NULL_OBS`.
     """
 
-    def __init__(self, trace_ring: int = 256, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        trace_ring: int = 256,
+        enabled: bool = True,
+        max_traces: int = 128,
+        max_trace_spans: int = 512,
+    ) -> None:
         self.enabled = enabled
         self.trace_ring = trace_ring
         if enabled:
             self.registry: MetricsRegistry = MetricsRegistry()
-            self.tracer: Tracer = Tracer(ring=trace_ring)
+            self.carrier: TraceCarrier | None = TraceCarrier()
+            self.trace_sink: TraceBuffer | None = TraceBuffer(
+                max_traces=max_traces, max_spans=max_trace_spans
+            )
+            self.tracer: Tracer = Tracer(
+                ring=trace_ring, carrier=self.carrier, sink=self.trace_sink
+            )
+            self._tracers: list[Tracer] = [self.tracer]
+            self._m_dropped = self.registry.counter(
+                "trace_spans_dropped",
+                "root spans evicted from tracer rings + sink overflow",
+            )
+            self.registry.add_collector(self._collect_trace_health)
         else:
             self.registry = NULL_REGISTRY
+            self.carrier = None
+            self.trace_sink = None
             self.tracer = NULL_TRACER
+            self._tracers = []
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point the tracer at a modelled-time source (the store binds
@@ -77,18 +116,42 @@ class Observability:
 
         One child per shard: each shard binds its *own* modelled clock
         (its counters price its I/Os), so shards cannot share a tracer,
-        while their metrics still aggregate into one scrape.
+        while their metrics still aggregate into one scrape. The trace
+        carrier and sink *are* shared: that is what stitches shard
+        spans into the request's tree.
         """
         view = Observability.__new__(Observability)
         view.enabled = self.enabled
         view.trace_ring = self.trace_ring
+        view.carrier = self.carrier
+        view.trace_sink = self.trace_sink
+        view._tracers = self._tracers
         if self.enabled:
             view.registry = PrefixedRegistry(self.registry, prefix)
-            view.tracer = Tracer(ring=self.trace_ring)
+            view.tracer = Tracer(
+                ring=self.trace_ring, carrier=self.carrier, sink=self.trace_sink
+            )
+            self._tracers.append(view.tracer)
         else:
             view.registry = NULL_REGISTRY
             view.tracer = NULL_TRACER
         return view
+
+    # -- trace health ---------------------------------------------------
+
+    def dropped_spans_total(self) -> int:
+        """Spans lost family-wide: ring evictions + sink overflow."""
+        if not self.enabled:
+            return 0
+        total = sum(tracer.dropped for tracer in self._tracers)
+        if self.trace_sink is not None:
+            total += self.trace_sink.dropped_spans
+        return total
+
+    def _collect_trace_health(self) -> None:
+        dropped = self.dropped_spans_total()
+        if dropped > self._m_dropped.value:
+            self._m_dropped.inc(dropped - self._m_dropped.value)
 
 
 #: The shared disabled bundle; the default for every component.
@@ -109,6 +172,14 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "TraceContext",
+    "TraceCarrier",
+    "TraceBuffer",
+    "HeadSampler",
+    "new_trace_id",
+    "new_span_id",
+    "format_trace_id",
+    "parse_trace_id",
     "render_prometheus",
     "render_json",
     "registry_to_dict",

@@ -1,0 +1,222 @@
+"""Live terminal dashboard over a running server's STATS payload.
+
+``repro dash`` polls the STATS op once per interval and redraws a
+compact single-screen panel: the server's request/error/shed counters,
+group-commit health, Unicode sparklines over the telemetry
+time-series the server snapshots (``PANEL_SERIES``), and the SLO
+engine's current burn-rate verdicts.
+
+Rendering is deliberately split from polling: :func:`render_dashboard`
+is a pure function of one STATS dict, so tests (and ``--once`` CI
+smoke runs) exercise the full layout without a TTY, timers, or ANSI
+escapes. Only :func:`run_dash` touches the network and the screen.
+
+The dashboard is a *read-only* client of the serving layer — it costs
+the server exactly one STATS request per frame and touches no counted
+I/O anywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+#: Eight vertical-bar glyphs, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Series drawn as sparkline rows, in panel order, with short labels.
+PANEL_ROWS: tuple[tuple[str, str], ...] = (
+    ("server_requests_total", "requests"),
+    ("server_errors_total", "errors"),
+    ("server_shed_total", "shed"),
+    ("server_inflight", "inflight"),
+    ("server_commit_queue_depth", "commit queue"),
+    ("server_commit_batch_size.mean", "batch size"),
+    ("server_get_latency_us.p50", "get p50 us"),
+    ("server_get_latency_us.p99", "get p99 us"),
+    ("server_put_latency_us.p99", "put p99 us"),
+    ("cache_hit_ratio", "cache hit"),
+    ("agg_cache_hit_ratio", "cache hit"),
+    ("store_entries", "entries"),
+    ("agg_store_entries", "entries"),
+    ("trace_spans_dropped", "spans dropped"),
+)
+
+#: Counter-kind series shown as per-sample deltas, not running totals.
+_RATE_SERIES = frozenset(
+    {
+        "server_requests_total",
+        "server_errors_total",
+        "server_shed_total",
+        "trace_spans_dropped",
+    }
+)
+
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """Render a numeric series as a fixed-width Unicode sparkline.
+
+    The most recent ``width`` points are scaled against the window's
+    own min/max; a flat series renders as a low bar, an empty one as
+    spaces.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    tail = [float(v) for v in values[-width:]]
+    if not tail:
+        return " " * width
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        bars = SPARK_CHARS[0] * len(tail)
+    else:
+        span = hi - lo
+        top = len(SPARK_CHARS) - 1
+        bars = "".join(
+            SPARK_CHARS[min(top, int((v - lo) / span * top + 0.5))]
+            for v in tail
+        )
+    return bars.rjust(width)
+
+
+def _fmt(value: float) -> str:
+    """Compact human number: 1234567 -> 1.23M, 0.9312 -> 0.931."""
+    magnitude = abs(value)
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= cut:
+            return f"{value / cut:.2f}{suffix}"
+    if value != int(value):
+        return f"{value:.3g}"
+    return str(int(value))
+
+
+def _series_values(points: list) -> list[float]:
+    """Extract values from the ``[[ts, value], ...]`` tail shape."""
+    return [float(p[1]) for p in points if isinstance(p, (list, tuple))]
+
+
+def _deltas(values: list[float]) -> list[float]:
+    return [
+        max(0.0, b - a) for a, b in zip(values, values[1:])
+    ] or values[:1]
+
+
+def render_dashboard(stats: dict[str, Any], width: int = 78) -> str:
+    """Render one STATS payload as the full dashboard frame (no ANSI)."""
+    lines: list[str] = []
+    bar = "─" * width
+    server = stats.get("server", {})
+    lines.append("repro dash".ljust(width - 19) + time.strftime("%H:%M:%S"))
+    lines.append(bar)
+    lines.append(
+        "  requests {:>10}   errors {:>8}   shed {:>8}   inflight {:>5}".format(
+            _fmt(server.get("requests", 0)),
+            _fmt(server.get("errors", 0)),
+            _fmt(server.get("shed", 0)),
+            _fmt(server.get("inflight", 0)),
+        )
+    )
+    lines.append(
+        "  connections {:>7}   commit batches {:>8}   items {:>8}"
+        "   queue {:>4}".format(
+            _fmt(server.get("connections", 0)),
+            _fmt(server.get("commit_batches", 0)),
+            _fmt(server.get("commit_items", 0)),
+            _fmt(server.get("commit_queue_depth", 0)),
+        )
+    )
+    tracing = stats.get("tracing")
+    if tracing:
+        lines.append(
+            "  traces held {:>7}   dropped traces {:>8}   dropped spans"
+            " {:>6}".format(
+                _fmt(tracing.get("traces", 0)),
+                _fmt(tracing.get("dropped_traces", 0)),
+                _fmt(tracing.get("spans_dropped_total", 0)),
+            )
+        )
+
+    telemetry = stats.get("telemetry")
+    series = telemetry.get("series", {}) if telemetry else {}
+    if series:
+        lines.append(bar)
+        lines.append(
+            "telemetry ({} samples, capacity {})".format(
+                telemetry.get("samples_taken", 0),
+                telemetry.get("capacity", 0),
+            )
+        )
+        spark_width = max(8, width - 34)
+        for name, label in PANEL_ROWS:
+            points = series.get(name)
+            if not points:
+                continue
+            values = _series_values(points)
+            shown = _deltas(values) if name in _RATE_SERIES else values
+            suffix = "/s" if name in _RATE_SERIES else ""
+            latest = shown[-1] if shown else 0.0
+            lines.append(
+                "  {:<14}{:>8}{} {}".format(
+                    label[:14],
+                    _fmt(latest),
+                    suffix.ljust(2),
+                    sparkline(shown, spark_width),
+                )
+            )
+
+    slo = stats.get("slo")
+    if slo and slo.get("objectives"):
+        lines.append(bar)
+        alerting = slo.get("alerting", [])
+        verdict = (
+            "ALERT: " + ", ".join(alerting) if alerting else "all objectives ok"
+        )
+        lines.append(f"slo — {verdict}")
+        for objective in slo["objectives"]:
+            flag = "!!" if objective.get("alerting") else "ok"
+            lines.append(
+                "  [{}] {:<24} burn {:>8}  value {:>10}".format(
+                    flag,
+                    str(objective.get("name", "?"))[:24],
+                    _fmt(float(objective.get("burn_rate", 0.0))),
+                    _fmt(float(objective.get("value", 0.0))),
+                )
+            )
+    lines.append(bar)
+    return "\n".join(lines)
+
+
+def run_dash(
+    host: str,
+    port: int,
+    interval: float = 1.0,
+    iterations: int = 0,
+    once: bool = False,
+    out: Callable[[str], None] = print,
+) -> None:
+    """Poll STATS and redraw the dashboard until interrupted.
+
+    ``iterations=0`` runs until Ctrl-C; ``once`` prints a single frame
+    with no screen clearing (the CI smoke mode). Import of the client
+    is deferred so the pure renderer stays dependency-free.
+    """
+    from repro.server.client import SyncClient
+
+    if once:
+        iterations = 1
+    frame = 0
+    try:
+        while True:
+            with SyncClient(host, port) as client:
+                stats = client.stats()
+            text = render_dashboard(stats)
+            if once:
+                out(text)
+            else:
+                # Home + clear-to-end keeps redraws flicker-free.
+                out("\x1b[H\x1b[J" + text)
+            frame += 1
+            if iterations and frame >= iterations:
+                return
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return

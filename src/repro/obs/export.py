@@ -11,6 +11,13 @@ The JSON exporter is the machine-readable artifact ``repro workload
 --metrics-out`` writes: every instrument, with derived quantiles
 (p50/p95/p99) precomputed for histograms so downstream analysis does
 not need to re-implement bucket interpolation.
+
+Both exporters publish the nearest-rank quantiles
+(:meth:`~repro.obs.metrics.Histogram.quantile_nearest`) as the
+headline ``p50/p95/p99`` — they are monotone, stable under bucket
+refinement, and match what the tuning sensor and SLO engine compare
+thresholds against. The JSON export keeps the interpolated estimates
+alongside under ``pXX_interp`` for continuity with earlier artifacts.
 """
 
 from __future__ import annotations
@@ -57,6 +64,11 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{name}_sum {_format_value(instrument.sum)}")
             lines.append(f"{name}_count {instrument.count}")
+            for q in EXPORT_QUANTILES:
+                lines.append(
+                    f"{name}_p{int(q * 100)} "
+                    f"{_format_value(instrument.quantile_nearest(q))}"
+                )
     return "\n".join(lines) + "\n"
 
 
@@ -99,7 +111,8 @@ def registry_to_dict(registry: MetricsRegistry) -> dict[str, Any]:
                 "mean": instrument.mean,
             }
             for q in EXPORT_QUANTILES:
-                entry[f"p{int(q * 100)}"] = instrument.quantile(q)
+                entry[f"p{int(q * 100)}"] = instrument.quantile_nearest(q)
+                entry[f"p{int(q * 100)}_interp"] = instrument.quantile(q)
             histograms[instrument.name] = entry
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 

@@ -15,13 +15,20 @@ to a build without this package.
 
 from repro.server.client import (
     AsyncClient,
+    ClientTraceConfig,
     ServerBusy,
     ServerError,
     ServerShuttingDown,
     SyncClient,
 )
 from repro.server.group_commit import GroupCommitWriter
-from repro.server.loadgen import LoadgenConfig, run_loadgen, write_artifact
+from repro.server.loadgen import (
+    LoadgenConfig,
+    pop_traces,
+    run_loadgen,
+    write_artifact,
+    write_traces_artifact,
+)
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     FrameAssembler,
@@ -40,6 +47,7 @@ from repro.server.server import ReproServer, ServerConfig
 
 __all__ = [
     "AsyncClient",
+    "ClientTraceConfig",
     "FrameAssembler",
     "GroupCommitWriter",
     "LoadgenConfig",
@@ -60,6 +68,8 @@ __all__ = [
     "encode_request",
     "encode_response",
     "frame",
+    "pop_traces",
     "run_loadgen",
     "write_artifact",
+    "write_traces_artifact",
 ]

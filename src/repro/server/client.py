@@ -14,6 +14,18 @@ Both raise :class:`ServerBusy` when admission control sheds a request
 (safe to retry — a shed request was never applied),
 :class:`ServerShuttingDown` during a drain, and :class:`ServerError`
 for a server-side failure.
+
+**Tracing** is head-based and client-initiated: pass a
+:class:`ClientTraceConfig` and every 1-in-``sample_every`` typed call
+mints a trace id, sends it in the wire trace header, and records a
+``client_<op>`` root span (wall time, request id, status) in a local
+ring. ``slow_us`` adds an always-sample-on-slow upgrade: an *unsampled*
+request that exceeds the threshold still gets a client-side span (by
+the time the client knows it was slow the request is over, so the
+server side of a slow-upgraded trace is necessarily absent — the
+point is that slow requests are never invisible). Sampled trace ids
+are retrievable via :attr:`sampled_trace_ids`, and the server's half of
+any tree via :meth:`fetch_trace`.
 """
 
 from __future__ import annotations
@@ -22,9 +34,14 @@ import asyncio
 import itertools
 import json
 import socket
+import time
+from collections import deque
+from dataclasses import dataclass, replace
 from typing import Any, Iterable
 
 from repro.common.errors import ReproError
+from repro.obs.context import HeadSampler, new_span_id, new_trace_id
+from repro.obs.trace import Span
 from repro.server.protocol import (
     KIND_DELETE,
     KIND_PUT,
@@ -53,6 +70,33 @@ class ServerError(ReproError):
     """The server failed processing this request."""
 
 
+@dataclass(frozen=True)
+class ClientTraceConfig:
+    """Client-side head-sampling knobs.
+
+    Attributes:
+        sample_every: sample 1 in N typed calls (0 disables sampling,
+            1 samples everything).
+        slow_us: record a client-side span for any *unsampled* request
+            slower than this many microseconds of wall time (0 = off).
+        log_spans: client span ring size.
+    """
+
+    sample_every: int = 10
+    slow_us: float = 0.0
+    log_spans: int = 256
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 0:
+            raise ValueError(
+                f"sample_every must be >= 0, got {self.sample_every}"
+            )
+        if self.slow_us < 0:
+            raise ValueError(f"slow_us must be >= 0, got {self.slow_us}")
+        if self.log_spans < 1:
+            raise ValueError(f"log_spans must be >= 1, got {self.log_spans}")
+
+
 def _encode_value(value: bytes | str) -> bytes:
     return value if isinstance(value, bytes) else value.encode("utf-8")
 
@@ -67,25 +111,109 @@ def _check(resp: Response) -> Response:
     return resp
 
 
-class AsyncClient:
+class _TraceMixin:
+    """The sampling + span-log half both clients share."""
+
+    def _init_trace(self, trace: ClientTraceConfig | None) -> None:
+        self._trace = trace
+        if trace is not None:
+            self._sampler = HeadSampler(trace.sample_every)
+            self.trace_log: deque[Span] = deque(maxlen=trace.log_spans)
+            self.sampled_trace_ids: deque[int] = deque(maxlen=1024)
+        else:
+            self._sampler = None
+            self.trace_log = deque(maxlen=1)
+            self.sampled_trace_ids = deque(maxlen=1)
+        self.slow_upgrades = 0
+
+    @property
+    def traces_sampled(self) -> int:
+        return self._sampler.sampled if self._sampler is not None else 0
+
+    def _begin(
+        self, req: Request
+    ) -> tuple[Request, tuple[int, int, int] | None]:
+        """Sampling decision + wall-clock start for one typed call."""
+        if self._trace is None:
+            return req, None
+        start = time.perf_counter_ns()
+        if self._sampler.decide():
+            trace_id = new_trace_id()
+            span_id = new_span_id()
+            req = replace(
+                req, trace_id=trace_id, parent_span_id=span_id
+            )
+            return req, (trace_id, span_id, start)
+        return req, (0, 0, start)
+
+    def _end(
+        self,
+        req: Request,
+        pending: tuple[int, int, int] | None,
+        status: Status | None,
+    ) -> None:
+        if pending is None:
+            return
+        trace_id, span_id, start = pending
+        wall_ns = float(time.perf_counter_ns() - start)
+        cfg = self._trace
+        slow = False
+        if not trace_id:
+            if not cfg.slow_us or wall_ns / 1_000.0 < cfg.slow_us:
+                return
+            # Slow upgrade: the request was unsampled but blew the
+            # threshold — trace it client-side so it is not invisible.
+            trace_id = new_trace_id()
+            span_id = new_span_id()
+            self.slow_upgrades += 1
+            slow = True
+        attrs: dict[str, Any] = {"request_id": req.request_id}
+        if req.op in (Op.GET, Op.PUT, Op.DELETE):
+            attrs["key"] = req.key
+        if status is not None:
+            attrs["status"] = status.name
+        if slow:
+            attrs["slow_upgrade"] = True
+        span = Span(f"client_{req.op.name.lower()}", attrs, 0.0)
+        span.span_id = span_id
+        span.trace_id = trace_id
+        span.wall_ns = wall_ns
+        if status is None:
+            span.error = "ConnectionError"
+        self.trace_log.append(span)
+        if not slow:
+            self.sampled_trace_ids.append(trace_id)
+
+    def client_spans(self) -> list[Span]:
+        """Recorded client-side root spans, oldest first."""
+        return list(self.trace_log)
+
+
+class AsyncClient(_TraceMixin):
     """Pipelined asyncio client. Create with :meth:`connect`."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        trace: ClientTraceConfig | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
         self._waiters: dict[int, asyncio.Future] = {}
         self._closed = False
+        self._init_trace(trace)
         self._dispatch_task = asyncio.get_running_loop().create_task(
             self._dispatch(), name="repro-client-dispatch"
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncClient":
+    async def connect(
+        cls, host: str, port: int, trace: ClientTraceConfig | None = None
+    ) -> "AsyncClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, trace=trace)
 
     async def _dispatch(self) -> None:
         """Read frames forever, resolving waiters by request id."""
@@ -114,7 +242,8 @@ class AsyncClient:
 
     async def request(self, req: Request) -> Response:
         """Send one request and await its response (raw: no status
-        checking — callers that care use the typed helpers below)."""
+        checking, no sampling — callers that care use the typed
+        helpers below)."""
         if self._closed:
             raise ConnectionResetError("client is closed")
         waiter: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -123,27 +252,36 @@ class AsyncClient:
         await self._writer.drain()
         return await waiter
 
+    async def _call(self, req: Request) -> Response:
+        """One typed round-trip: sampling, span recording, status check."""
+        req, pending = self._begin(req)
+        try:
+            resp = await self.request(req)
+        except Exception:
+            self._end(req, pending, None)
+            raise
+        self._end(req, pending, resp.status)
+        return _check(resp)
+
     def _rid(self) -> int:
         return next(self._ids)
 
     # -- typed operations ----------------------------------------------
 
     async def ping(self) -> None:
-        _check(await self.request(Request(self._rid(), Op.PING)))
+        await self._call(Request(self._rid(), Op.PING))
 
     async def get(self, key: int) -> bytes | None:
-        resp = _check(await self.request(Request(self._rid(), Op.GET, key=key)))
+        resp = await self._call(Request(self._rid(), Op.GET, key=key))
         return None if resp.status is Status.NOT_FOUND else resp.value
 
     async def put(self, key: int, value: bytes | str) -> None:
-        _check(
-            await self.request(
-                Request(self._rid(), Op.PUT, key=key, value=_encode_value(value))
-            )
+        await self._call(
+            Request(self._rid(), Op.PUT, key=key, value=_encode_value(value))
         )
 
     async def delete(self, key: int) -> None:
-        _check(await self.request(Request(self._rid(), Op.DELETE, key=key)))
+        await self._call(Request(self._rid(), Op.DELETE, key=key))
 
     async def put_batch(
         self, items: Iterable[tuple[int, bytes | str | None]]
@@ -156,28 +294,37 @@ class AsyncClient:
             else (KIND_PUT, key, _encode_value(value))
             for key, value in items
         )
-        resp = _check(
-            await self.request(Request(self._rid(), Op.BATCH, items=wire_items))
+        resp = await self._call(
+            Request(self._rid(), Op.BATCH, items=wire_items)
         )
         return resp.count
 
     async def scan(
         self, lo: int, hi: int, limit: int = 0
     ) -> list[tuple[int, bytes]]:
-        resp = _check(
-            await self.request(
-                Request(self._rid(), Op.SCAN, lo=lo, hi=hi, limit=limit)
-            )
+        resp = await self._call(
+            Request(self._rid(), Op.SCAN, lo=lo, hi=hi, limit=limit)
         )
         return list(resp.pairs)
 
     async def stats(self) -> dict[str, Any]:
-        resp = _check(await self.request(Request(self._rid(), Op.STATS)))
+        resp = await self._call(Request(self._rid(), Op.STATS))
+        return json.loads(resp.value.decode("utf-8"))
+
+    async def fetch_trace(self, trace_id: int = 0) -> dict[str, Any] | None:
+        """The server's spans for one trace id (None if unknown);
+        ``trace_id=0`` returns the sink summary (known ids + drops).
+        Never itself sampled."""
+        resp = _check(
+            await self.request(Request(self._rid(), Op.TRACE, key=trace_id))
+        )
+        if resp.status is Status.NOT_FOUND:
+            return None
         return json.loads(resp.value.decode("utf-8"))
 
     async def shutdown(self) -> None:
         """Ask the server to drain gracefully."""
-        _check(await self.request(Request(self._rid(), Op.SHUTDOWN)))
+        await self._call(Request(self._rid(), Op.SHUTDOWN))
 
     async def close(self) -> None:
         self._closed = True
@@ -193,18 +340,23 @@ class AsyncClient:
             pass
 
 
-class SyncClient:
+class SyncClient(_TraceMixin):
     """Blocking-socket client: one request, one response, in order."""
 
     def __init__(
-        self, host: str, port: int, timeout: float | None = 10.0
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 10.0,
+        trace: ClientTraceConfig | None = None,
     ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._assembler = FrameAssembler()
         self._frames: list[bytes] = []
         self._ids = itertools.count(1)
+        self._init_trace(trace)
 
-    def _roundtrip(self, req: Request) -> Response:
+    def _exchange(self, req: Request) -> Response:
         self._sock.sendall(frame(encode_request(req)))
         while not self._frames:
             chunk = self._sock.recv(65536)
@@ -217,6 +369,16 @@ class SyncClient:
             raise ProtocolError(
                 f"response id {resp.request_id} != request id {req.request_id}"
             )
+        return resp
+
+    def _roundtrip(self, req: Request) -> Response:
+        req, pending = self._begin(req)
+        try:
+            resp = self._exchange(req)
+        except Exception:
+            self._end(req, pending, None)
+            raise
+        self._end(req, pending, resp.status)
         return _check(resp)
 
     def _rid(self) -> int:
@@ -255,6 +417,16 @@ class SyncClient:
 
     def stats(self) -> dict[str, Any]:
         resp = self._roundtrip(Request(self._rid(), Op.STATS))
+        return json.loads(resp.value.decode("utf-8"))
+
+    def fetch_trace(self, trace_id: int = 0) -> dict[str, Any] | None:
+        """The server's spans for one trace id (None if unknown);
+        ``trace_id=0`` returns the sink summary. Never sampled."""
+        resp = _check(
+            self._exchange(Request(self._rid(), Op.TRACE, key=trace_id))
+        )
+        if resp.status is Status.NOT_FOUND:
+            return None
         return json.loads(resp.value.decode("utf-8"))
 
     def shutdown(self) -> None:

@@ -53,19 +53,27 @@ class GroupCommitWriter:
         self.store = store
         self.max_batch = max_batch
         self.obs = observability if observability is not None else NULL_OBS
-        self._pending: list[tuple[int, Any, asyncio.Future]] = []
+        #: (key, value, future, trace ctx or None) in submission order.
+        self._pending: list[
+            tuple[int, Any, asyncio.Future, tuple[int, int] | None]
+        ] = []
         self._wake = asyncio.Event()
         self._closed = False
         self._task: asyncio.Task | None = None
         #: Lifetime totals (also exported as metrics when obs is on).
         self.batches = 0
         self.items = 0
+        self.failed_items = 0
         registry = self.obs.registry
         self._m_batches = registry.counter(
             "server_commit_batches_total", "group-commit batches applied"
         )
         self._m_items = registry.counter(
             "server_commit_items_total", "writes applied through group commit"
+        )
+        self._m_failed_items = registry.counter(
+            "server_commit_failed_items_total",
+            "writes whose group-commit apply raised (durability risk)",
         )
         self._m_batch_size = registry.histogram(
             "server_commit_batch_size", GROUP_COMMIT_BUCKETS,
@@ -84,25 +92,35 @@ class GroupCommitWriter:
         """Writes submitted but not yet applied."""
         return len(self._pending)
 
-    async def submit(self, key: int, value: Any) -> None:
+    async def submit(
+        self, key: int, value: Any, trace: tuple[int, int] | None = None
+    ) -> None:
         """Enqueue one write and wait until it is durably applied.
 
-        ``value`` may be :data:`TOMBSTONE` for a delete. Raises
-        whatever ``put_batch`` raised for this write's group, or
+        ``value`` may be :data:`TOMBSTONE` for a delete. ``trace`` is
+        an optional ``(trace_id, parent_span_id)`` context: the batch
+        that applies this write will join that trace. Raises whatever
+        ``put_batch`` raised for this write's group, or
         ``ConnectionResetError`` if the writer was closed before the
         write could be applied (it never silently drops a submission).
         """
         if self._closed:
             raise ConnectionResetError("group-commit writer is closed")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append((key, value, future))
+        self._pending.append((key, value, future, trace))
         self._wake.set()
         await future
 
-    async def submit_delete(self, key: int) -> None:
-        await self.submit(key, TOMBSTONE)
+    async def submit_delete(
+        self, key: int, trace: tuple[int, int] | None = None
+    ) -> None:
+        await self.submit(key, TOMBSTONE, trace=trace)
 
-    async def submit_many(self, items: list[tuple[int, Any]]) -> None:
+    async def submit_many(
+        self,
+        items: list[tuple[int, Any]],
+        trace: tuple[int, int] | None = None,
+    ) -> None:
         """Enqueue a client batch as one contiguous run of writes and
         wait for all of them. Contiguity means a batch no larger than
         ``max_batch`` is applied by a single ``put_batch`` call —
@@ -115,7 +133,7 @@ class GroupCommitWriter:
         futures = []
         for key, value in items:
             future = loop.create_future()
-            self._pending.append((key, value, future))
+            self._pending.append((key, value, future, trace))
             futures.append(future)
         self._wake.set()
         await asyncio.gather(*futures)
@@ -136,12 +154,29 @@ class GroupCommitWriter:
                 continue
             self._apply(group)
 
-    def _apply(self, group: list[tuple[int, Any, asyncio.Future]]) -> None:
-        items = [(key, value) for key, value, _ in group]
+    def _apply(
+        self,
+        group: list[tuple[int, Any, asyncio.Future, tuple[int, int] | None]],
+    ) -> None:
+        items = [(key, value) for key, value, _, _ in group]
+        # Traced submissions in this group: the first context hosts the
+        # batch span (and, via the family carrier, the shard-level
+        # put_batch subtree); the rest get mirror spans after the fact
+        # so *every* sampled write's tree shows its group commit.
+        ctxs = [ctx for _, _, _, ctx in group if ctx]
+        primary = ctxs[0] if ctxs else None
+        tracer = self.obs.tracer
         try:
             # Synchronous section: safe to span (the tracer's stack
             # must never be held across an await).
-            with self.obs.tracer.span("group_commit", size=len(group)):
+            if primary is not None:
+                span_cm = tracer.span_for(
+                    "group_commit", primary[0], primary[1],
+                    size=len(group), traced_writes=len(ctxs),
+                )
+            else:
+                span_cm = tracer.span("group_commit", size=len(group))
+            with span_cm as span:
                 crash_point("group_commit.before_apply")
                 self.store.put_batch(items)
                 # A crash here dies with the group durable in the WAL
@@ -149,16 +184,34 @@ class GroupCommitWriter:
                 # writes, and the ack contract still holds.
                 crash_point("group_commit.before_ack")
         except Exception as exc:  # noqa: BLE001 — propagate to every waiter
-            for _, _, future in group:
+            self.failed_items += len(group)
+            self._m_failed_items.inc(len(group))
+            for _, _, future, _ in group:
                 if not future.done():
                     future.set_exception(exc)
             return
+        if primary is not None:
+            seen = {primary[0]}
+            for trace_id, parent_id in ctxs[1:]:
+                if trace_id in seen:
+                    continue
+                seen.add(trace_id)
+                tracer.record(
+                    "group_commit",
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    start_ns=span.start_ns,
+                    duration_ns=span.duration_ns,
+                    wall_ns=span.wall_ns,
+                    size=len(group),
+                    shared_with=primary[0],
+                )
         self.batches += 1
         self.items += len(group)
         self._m_batches.inc()
         self._m_items.inc(len(group))
         self._m_batch_size.observe(len(group))
-        for _, _, future in group:
+        for _, _, future, _ in group:
             if not future.done():
                 future.set_result(None)
 
@@ -177,7 +230,7 @@ class GroupCommitWriter:
         # A submission that somehow arrived after the task exited (it
         # would have raised in submit(), but be defensive) must not
         # hang its waiter forever.
-        for _, _, future in self._pending:
+        for _, _, future, _ in self._pending:
             if not future.done():
                 future.set_exception(
                     ConnectionResetError("group-commit writer closed")

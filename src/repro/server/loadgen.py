@@ -10,13 +10,22 @@ about.
 
 Per-operation wall-clock latencies are recorded exactly (sorted lists,
 not histogram buckets — op counts here are small enough) and the run
-summary — throughput plus p50/p95/p99 per op type — is written as the
+summary — throughput plus p50/p95/p99 per op type, with error and
+BUSY-retry counts broken out *per op class* so the SLO error-rate
+objective has a ground-truth field — is written as the
 ``BENCH_serve.json`` artifact that starts the repo's serving-perf
 trajectory.
 
 ``BUSY`` responses (admission-control shedding) are retried with a
 small exponential backoff and counted separately: a shed request is
 not an error, it is the backpressure mechanism working.
+
+With ``trace_every > 0`` each worker samples 1-in-N of its requests
+into the wire trace header (plus the ``trace_slow_us`` slow-upgrade
+threshold); after the run the generator pulls the server half of every
+sampled trace over the TRACE op and can write the combined span trees
+as a separate traces artifact — the end-to-end "one request, one
+causal tree" view ``repro trace --request`` renders.
 """
 
 from __future__ import annotations
@@ -26,11 +35,17 @@ import json
 import time
 from dataclasses import asdict, dataclass
 
-from repro.server.client import AsyncClient, ServerBusy
+from repro.server.client import AsyncClient, ClientTraceConfig, ServerBusy
 from repro.workloads.generators import request_stream
 
 #: How many times one op retries BUSY before counting as an error.
 MAX_BUSY_RETRIES = 50
+
+#: Cap on combined trace trees kept in the traces artifact.
+MAX_TRACES_IN_ARTIFACT = 32
+
+#: The op classes the generator issues and accounts separately.
+OP_CLASSES = ("read", "update")
 
 
 @dataclass(frozen=True)
@@ -48,6 +63,10 @@ class LoadgenConfig:
     value_size: int = 16
     seed: int = 0
     preload: bool = True
+    #: Head-sample 1 in N requests into the wire trace header (0 = off).
+    trace_every: int = 0
+    #: Client-side slow-upgrade threshold in microseconds (0 = off).
+    trace_slow_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.connections < 1:
@@ -61,6 +80,10 @@ class LoadgenConfig:
         if self.workload not in ("uniform", "zipf", "ycsb-b"):
             raise ValueError(
                 f"workload must be uniform|zipf|ycsb-b, got {self.workload!r}"
+            )
+        if self.trace_every < 0:
+            raise ValueError(
+                f"trace_every must be >= 0, got {self.trace_every}"
             )
 
 
@@ -85,6 +108,14 @@ def _summarize_op(latencies_us: list[float]) -> dict:
     }
 
 
+def _trace_config(cfg: LoadgenConfig) -> ClientTraceConfig | None:
+    if not cfg.trace_every and not cfg.trace_slow_us:
+        return None
+    return ClientTraceConfig(
+        sample_every=cfg.trace_every, slow_us=cfg.trace_slow_us
+    )
+
+
 async def _preload(cfg: LoadgenConfig) -> None:
     """Seed the whole key population so reads have something to hit."""
     client = await AsyncClient.connect(cfg.host, cfg.port)
@@ -103,9 +134,12 @@ async def _worker(
     index: int,
     ops: int,
     latencies: dict[str, list[float]],
-    counters: dict[str, int],
+    counters: dict[str, dict[str, int]],
+    trace_state: dict,
 ) -> None:
-    client = await AsyncClient.connect(cfg.host, cfg.port)
+    client = await AsyncClient.connect(
+        cfg.host, cfg.port, trace=_trace_config(cfg)
+    )
     value = f"c{index}-" + "y" * max(0, cfg.value_size - 4)
     stream = request_stream(
         cfg.workload,
@@ -127,18 +161,62 @@ async def _worker(
                         await client.put(key, value)
                     break
                 except ServerBusy:
-                    counters["busy_retries"] += 1
+                    counters[op]["busy_retries"] += 1
                     if attempt == MAX_BUSY_RETRIES:
-                        counters["errors"] += 1
+                        counters[op]["errors"] += 1
                         break
                     await asyncio.sleep(backoff)
                     backoff = min(backoff * 2, 0.05)
                 except Exception:  # noqa: BLE001 — survey run keeps going
-                    counters["errors"] += 1
+                    counters[op]["errors"] += 1
                     break
             latencies[op].append((time.perf_counter_ns() - start) / 1_000)
     finally:
+        # Harvest this connection's trace state before the socket goes.
+        trace_state["sampled"] += client.traces_sampled
+        trace_state["slow_upgrades"] += client.slow_upgrades
+        trace_state["trace_ids"].extend(client.sampled_trace_ids)
+        trace_state["client_spans"].extend(
+            span.to_dict() for span in client.client_spans()
+        )
         await client.close()
+
+
+async def _collect_traces(cfg: LoadgenConfig, trace_state: dict) -> dict:
+    """Fetch the server half of sampled traces and combine trees."""
+    spans_by_trace: dict[int, list[dict]] = {}
+    for span in trace_state["client_spans"]:
+        trace_id = span.get("trace_id")
+        if trace_id:
+            spans_by_trace.setdefault(trace_id, []).append(span)
+    out = {
+        "sampled": trace_state["sampled"],
+        "slow_upgrades": trace_state["slow_upgrades"],
+        "server": {},
+        "traces": [],
+    }
+    client = await AsyncClient.connect(cfg.host, cfg.port)
+    try:
+        summary = await client.fetch_trace(0)
+        if summary is not None:
+            out["server"] = {
+                "tracing_enabled": summary.get("tracing_enabled", False),
+                "dropped_traces": summary.get("dropped_traces", 0),
+                "dropped_spans": summary.get("dropped_spans", 0),
+            }
+        # Newest sampled ids first: the tail of the run is likeliest to
+        # still be resident in the server's bounded sink.
+        wanted = list(dict.fromkeys(reversed(trace_state["trace_ids"])))
+        for trace_id in wanted[:MAX_TRACES_IN_ARTIFACT]:
+            spans = list(spans_by_trace.get(trace_id, []))
+            payload = await client.fetch_trace(trace_id)
+            if payload is not None:
+                spans.extend(payload.get("spans", []))
+            if spans:
+                out["traces"].append({"trace_id": trace_id, "spans": spans})
+    finally:
+        await client.close()
+    return out
 
 
 async def run_loadgen(cfg: LoadgenConfig) -> dict:
@@ -146,15 +224,21 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict:
     (the exact structure written to ``BENCH_serve.json``)."""
     if cfg.preload:
         await _preload(cfg)
-    latencies: dict[str, list[float]] = {"read": [], "update": []}
-    counters = {"busy_retries": 0, "errors": 0}
+    latencies: dict[str, list[float]] = {op: [] for op in OP_CLASSES}
+    counters = {op: {"busy_retries": 0, "errors": 0} for op in OP_CLASSES}
+    trace_state: dict = {
+        "sampled": 0,
+        "slow_upgrades": 0,
+        "trace_ids": [],
+        "client_spans": [],
+    }
     per_conn = [cfg.ops // cfg.connections] * cfg.connections
     for i in range(cfg.ops % cfg.connections):
         per_conn[i] += 1
     started = time.perf_counter()
     await asyncio.gather(
         *(
-            _worker(cfg, index, ops, latencies, counters)
+            _worker(cfg, index, ops, latencies, counters, trace_state)
             for index, ops in enumerate(per_conn)
             if ops > 0
         )
@@ -168,19 +252,47 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict:
         "elapsed_s": elapsed,
         "total_ops": total_ops,
         "throughput_ops_per_s": total_ops / elapsed if elapsed > 0 else 0.0,
-        "busy_retries": counters["busy_retries"],
-        "errors": counters["errors"],
+        # Totals kept for artifact compatibility; per-class breakdown
+        # below is what the SLO error-rate objective validates against.
+        "busy_retries": sum(c["busy_retries"] for c in counters.values()),
+        "errors": sum(c["errors"] for c in counters.values()),
+        "op_counters": {op: dict(c) for op, c in counters.items()},
         "latency_us": {
             "all": _summarize_op(all_latencies),
             "read": _summarize_op(latencies["read"]),
             "update": _summarize_op(latencies["update"]),
         },
     }
+    if cfg.trace_every or cfg.trace_slow_us:
+        traces = await _collect_traces(cfg, trace_state)
+        summary["tracing"] = {
+            "sampled": traces["sampled"],
+            "slow_upgrades": traces["slow_upgrades"],
+            "complete_traces": len(traces["traces"]),
+            "server": traces["server"],
+        }
+        summary["_traces"] = traces  # stripped before BENCH_serve.json
     return summary
 
 
+def pop_traces(summary: dict) -> dict | None:
+    """Detach the (bulky) combined-trace payload from a run summary —
+    callers write it via :func:`write_traces_artifact`, keeping
+    BENCH_serve.json diffable."""
+    return summary.pop("_traces", None)
+
+
 def write_artifact(summary: dict, path: str) -> None:
-    """Write the run summary as a JSON artifact."""
+    """Write the run summary as a JSON artifact (traces detached)."""
+    summary = dict(summary)
+    summary.pop("_traces", None)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_traces_artifact(traces: dict, path: str) -> None:
+    """Write the combined client+server span trees artifact."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(traces, fh, indent=2, sort_keys=True)
         fh.write("\n")

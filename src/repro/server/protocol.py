@@ -17,6 +17,17 @@ on one connection and match responses out of order. The opcode is
 echoed in the response so decoding is self-describing (no per-id state
 needed to interpret a body).
 
+**Trace context** (optional): the high bit of the request opcode byte
+(:data:`TRACE_FLAG`) marks a *traced* request. When set, 16 extra
+bytes — ``u64 trace_id | u64 parent_span_id`` — follow the request
+header before the body; the server adopts that context so its spans
+join the client's causal tree. Old clients never set the bit and old
+servers would reject it as an unknown opcode, so the header is purely
+additive; absence simply means "unsampled". A set flag with a
+truncated trace header is a :class:`ProtocolError` like any other
+truncated body. Responses never carry the flag (the context only
+flows client → server; span retrieval has its own TRACE op).
+
 Bodies (all integers unsigned big-endian, values are raw bytes):
 
 ========  =======================================================
@@ -29,12 +40,13 @@ BATCH     u32 count | count * (u8 kind | u64 key | u32 vlen | value)
 SCAN      u64 lo | u64 hi | u32 limit
 STATS     (empty)
 SHUTDOWN  (empty)
+TRACE     u64 trace_id (0 = list known trace ids + sink health)
 ========  =======================================================
 
 Response bodies by status/op: ``OK GET`` carries ``u32 vlen | value``
 (``NOT_FOUND`` is empty); ``OK BATCH`` carries ``u32 applied``; ``OK
 SCAN`` carries ``u32 count | count * (u64 key | u32 vlen | value)``;
-``OK STATS`` carries UTF-8 JSON; ``BUSY`` / ``ERROR`` /
+``OK STATS`` and ``OK TRACE`` carry UTF-8 JSON; ``BUSY`` / ``ERROR`` /
 ``SHUTTING_DOWN`` carry an optional UTF-8 message. Everything else is
 empty.
 
@@ -70,8 +82,13 @@ _U64 = struct.Struct(">Q")
 _U32 = struct.Struct(">I")
 _KEY_VLEN = struct.Struct(">QI")
 _SCAN_BODY = struct.Struct(">QQI")
+#: Optional trace context: trace id + parent span id.
+_TRACE_HEAD = struct.Struct(">QQ")
 
 MAX_KEY = (1 << 64) - 1
+
+#: High bit of the request opcode byte: "trace header present".
+TRACE_FLAG = 0x80
 
 
 class ProtocolError(ReproError):
@@ -87,6 +104,7 @@ class Op(IntEnum):
     SCAN = 5
     STATS = 6
     SHUTDOWN = 7
+    TRACE = 8
 
 
 class Status(IntEnum):
@@ -116,6 +134,9 @@ class Request:
     lo: int = 0
     hi: int = 0
     limit: int = 0
+    #: Trace context (0 = unsampled, no header on the wire).
+    trace_id: int = 0
+    parent_span_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -145,11 +166,22 @@ def _check_key(key: int) -> int:
 
 def encode_request(req: Request) -> bytes:
     """Serialize a request payload (no frame header)."""
-    head = _REQ_HEAD.pack(req.request_id, int(req.op))
+    opcode = int(req.op)
+    if req.trace_id:
+        if not 0 < req.trace_id <= MAX_KEY:
+            raise ProtocolError(f"trace id {req.trace_id} out of u64 range")
+        if not 0 <= req.parent_span_id <= MAX_KEY:
+            raise ProtocolError(
+                f"parent span id {req.parent_span_id} out of u64 range"
+            )
+        head = _REQ_HEAD.pack(req.request_id, opcode | TRACE_FLAG)
+        head += _TRACE_HEAD.pack(req.trace_id, req.parent_span_id)
+    else:
+        head = _REQ_HEAD.pack(req.request_id, opcode)
     op = req.op
     if op in (Op.PING, Op.STATS, Op.SHUTDOWN):
         return head
-    if op in (Op.GET, Op.DELETE):
+    if op in (Op.GET, Op.DELETE, Op.TRACE):
         return head + _U64.pack(_check_key(req.key))
     if op is Op.PUT:
         return head + _KEY_VLEN.pack(_check_key(req.key), len(req.value)) + req.value
@@ -189,7 +221,7 @@ def encode_response(resp: Response) -> bytes:
             parts.append(_KEY_VLEN.pack(_check_key(key), len(value)))
             parts.append(value)
         return b"".join(parts)
-    if op is Op.STATS:
+    if op in (Op.STATS, Op.TRACE):
         return head + resp.value
     return head  # PING / PUT / DELETE / SHUTDOWN OK: empty body
 
@@ -255,19 +287,26 @@ def decode_request(payload: bytes) -> Request:
     violation (bad opcode, truncated body, trailing garbage)."""
     cur = _Cursor(payload)
     request_id, raw_op = cur.unpack(_REQ_HEAD)
+    trace_id = parent_span_id = 0
+    if raw_op & TRACE_FLAG:
+        trace_id, parent_span_id = cur.unpack(_TRACE_HEAD)
+        if not trace_id:
+            raise ProtocolError("trace header present but trace id is 0")
+        raw_op &= ~TRACE_FLAG
     op = _decode_op(raw_op)
+    ctx = {"trace_id": trace_id, "parent_span_id": parent_span_id}
     if op in (Op.PING, Op.STATS, Op.SHUTDOWN):
         cur.finish()
-        return Request(request_id, op)
-    if op in (Op.GET, Op.DELETE):
+        return Request(request_id, op, **ctx)
+    if op in (Op.GET, Op.DELETE, Op.TRACE):
         (key,) = cur.unpack(_U64)
         cur.finish()
-        return Request(request_id, op, key=key)
+        return Request(request_id, op, key=key, **ctx)
     if op is Op.PUT:
         key, vlen = cur.unpack(_KEY_VLEN)
         value = cur.take(vlen)
         cur.finish()
-        return Request(request_id, op, key=key, value=value)
+        return Request(request_id, op, key=key, value=value, **ctx)
     if op is Op.BATCH:
         (count,) = cur.unpack(_U32)
         items = []
@@ -280,11 +319,11 @@ def decode_request(payload: bytes) -> Request:
                 raise ProtocolError("batch delete item carries a value")
             items.append((kind, key, cur.take(vlen)))
         cur.finish()
-        return Request(request_id, op, items=tuple(items))
+        return Request(request_id, op, items=tuple(items), **ctx)
     # SCAN (op set is closed: _decode_op already rejected everything else)
     lo, hi, limit = cur.unpack(_SCAN_BODY)
     cur.finish()
-    return Request(request_id, op, lo=lo, hi=hi, limit=limit)
+    return Request(request_id, op, lo=lo, hi=hi, limit=limit, **ctx)
 
 
 def decode_response(payload: bytes) -> Response:
@@ -319,7 +358,7 @@ def decode_response(payload: bytes) -> Response:
             pairs.append((key, cur.take(vlen)))
         cur.finish()
         return Response(request_id, op, status, pairs=tuple(pairs))
-    if op is Op.STATS:
+    if op in (Op.STATS, Op.TRACE):
         return Response(request_id, op, status, value=cur.rest())
     cur.finish()
     return Response(request_id, op, status)

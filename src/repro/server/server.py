@@ -39,8 +39,11 @@ from repro.obs import (
     NULL_OBS,
     Observability,
     WIRE_LATENCY_US_BUCKETS,
+    new_span_id,
     registry_to_dict,
 )
+from repro.obs.slo import SLOEngine, default_server_slos
+from repro.obs.timeseries import TimeSeriesStore
 from repro.server.group_commit import GroupCommitWriter
 from repro.server.protocol import (
     KIND_DELETE,
@@ -53,6 +56,28 @@ from repro.server.protocol import (
     encode_response,
     frame,
     read_frame,
+)
+
+
+#: Series tails the STATS payload ships for the dashboard. Missing
+#: names (e.g. single-shard vs sharded cache gauges) drop out silently.
+PANEL_SERIES: tuple[str, ...] = (
+    "server_requests_total",
+    "server_errors_total",
+    "server_shed_total",
+    "server_inflight",
+    "server_connections",
+    "server_commit_queue_depth",
+    "server_commit_items_total",
+    "server_commit_batch_size.mean",
+    "server_get_latency_us.p50",
+    "server_get_latency_us.p99",
+    "server_put_latency_us.p99",
+    "cache_hit_ratio",
+    "agg_cache_hit_ratio",
+    "store_entries",
+    "agg_store_entries",
+    "trace_spans_dropped",
 )
 
 
@@ -74,6 +99,10 @@ class ServerConfig:
             may ask for less, never more).
         stats_full_metrics: include the whole metrics registry in
             STATS responses (the store health block is always there).
+        telemetry_interval: seconds between telemetry samples (0
+            disables the time-series store and the SLO engine; needs
+            observability enabled to do anything).
+        telemetry_capacity: ring size of each telemetry series.
     """
 
     host: str = "127.0.0.1"
@@ -83,8 +112,15 @@ class ServerConfig:
     group_commit_batch: int = 512
     scan_limit: int = 65536
     stats_full_metrics: bool = False
+    telemetry_interval: float = 0.0
+    telemetry_capacity: int = 512
 
     def __post_init__(self) -> None:
+        if self.telemetry_interval < 0:
+            raise ValueError(
+                f"telemetry_interval must be >= 0, got "
+                f"{self.telemetry_interval}"
+            )
         if self.max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {self.max_inflight}"
@@ -163,6 +199,18 @@ class ReproServer:
         }
         if self.obs.enabled:
             registry.add_collector(self._collect_gauges)
+        #: Telemetry: created when configured *and* observability is on
+        #: (a time series over the null registry would record nothing).
+        self.telemetry: TimeSeriesStore | None = None
+        self.slo: SLOEngine | None = None
+        self._telemetry_task: asyncio.Task | None = None
+        if self.config.telemetry_interval > 0 and self.obs.enabled:
+            self.telemetry = TimeSeriesStore(
+                registry, capacity=self.config.telemetry_capacity
+            )
+            self.slo = SLOEngine(
+                default_server_slos(), self.telemetry, registry=registry
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -171,11 +219,23 @@ class ReproServer:
     async def start(self) -> int:
         """Bind, start accepting, and return the bound port."""
         self.commit.start()
+        if self.telemetry is not None:
+            self._telemetry_task = asyncio.get_running_loop().create_task(
+                self._telemetry_loop(), name="repro-telemetry"
+            )
         self._server = await asyncio.start_server(
             self._on_connect, host=self.config.host, port=self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self.port
+
+    async def _telemetry_loop(self) -> None:
+        """Sample the registry and evaluate SLOs until cancelled."""
+        interval = self.config.telemetry_interval
+        while True:
+            self.telemetry.sample()
+            self.slo.evaluate()
+            await asyncio.sleep(interval)
 
     async def serve_until_drained(self) -> None:
         """Block until :meth:`drain` completes (the normal run mode)."""
@@ -188,6 +248,13 @@ class ReproServer:
             await self._drained.wait()
             return
         self._draining = True
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+            self._telemetry_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -346,36 +413,72 @@ class ReproServer:
         # nested (synchronous) spans, so a span must NEVER be held
         # across an await — concurrent tasks would interleave on the
         # stack. Read-path ops are fully synchronous and get a span
-        # around the store call; write-path ops are traced at the
-        # group-commit batch (where the store work actually happens)
-        # plus a zero-duration per-request marker span after the ack.
+        # around the store call (span_for adopts the wire trace
+        # context when the request carries one; the family carrier
+        # then parents shard-level spans under it). Write-path ops
+        # allocate their span id up front, hand (trace_id, span_id) to
+        # group commit — the batch span parents there — and record the
+        # finished serve span after the ack.
         op = request.op
         rid = request.request_id
+        tracer = self.obs.tracer
+        trace_id = request.trace_id
+        parent_id = request.parent_span_id
         if op is Op.PING:
             return Response(rid, op, Status.OK)
         if op is Op.GET:
-            with self.obs.tracer.span(
-                "serve_get", request_id=rid, key=request.key
+            with tracer.span_for(
+                "serve_get", trace_id, parent_id, request_id=rid,
+                key=request.key,
             ):
                 value = self.store.get(request.key)
             if value is None:
                 return Response(rid, op, Status.NOT_FOUND)
             return Response(rid, op, Status.OK, value=self._encode_value(value))
         if op is Op.PUT:
-            await self.commit.submit(
-                request.key, request.value.decode("utf-8", errors="replace")
-            )
-            with self.obs.tracer.span(
-                "serve_put", request_id=rid, key=request.key
-            ):
-                pass
+            decoded = request.value.decode("utf-8", errors="replace")
+            if trace_id:
+                span_id = new_span_id()
+                start = time.perf_counter_ns()
+                await self.commit.submit(
+                    request.key, decoded, trace=(trace_id, span_id)
+                )
+                tracer.record(
+                    "serve_put",
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    span_id=span_id,
+                    wall_ns=float(time.perf_counter_ns() - start),
+                    request_id=rid,
+                    key=request.key,
+                )
+            else:
+                await self.commit.submit(request.key, decoded)
+                with tracer.span("serve_put", request_id=rid, key=request.key):
+                    pass
             return Response(rid, op, Status.OK)
         if op is Op.DELETE:
-            await self.commit.submit_delete(request.key)
-            with self.obs.tracer.span(
-                "serve_delete", request_id=rid, key=request.key
-            ):
-                pass
+            if trace_id:
+                span_id = new_span_id()
+                start = time.perf_counter_ns()
+                await self.commit.submit_delete(
+                    request.key, trace=(trace_id, span_id)
+                )
+                tracer.record(
+                    "serve_delete",
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    span_id=span_id,
+                    wall_ns=float(time.perf_counter_ns() - start),
+                    request_id=rid,
+                    key=request.key,
+                )
+            else:
+                await self.commit.submit_delete(request.key)
+                with tracer.span(
+                    "serve_delete", request_id=rid, key=request.key
+                ):
+                    pass
             return Response(rid, op, Status.OK)
         if op is Op.BATCH:
             items = [
@@ -390,19 +493,34 @@ class ReproServer:
             # One submission: the items stay contiguous in the commit
             # queue, so a batch no larger than group_commit_batch lands
             # in a single crash-atomic put_batch call.
-            await self.commit.submit_many(items)
-            with self.obs.tracer.span(
-                "serve_batch", request_id=rid, size=len(items)
-            ):
-                pass
+            if trace_id:
+                span_id = new_span_id()
+                start = time.perf_counter_ns()
+                await self.commit.submit_many(
+                    items, trace=(trace_id, span_id)
+                )
+                tracer.record(
+                    "serve_batch",
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    span_id=span_id,
+                    wall_ns=float(time.perf_counter_ns() - start),
+                    request_id=rid,
+                    size=len(items),
+                )
+            else:
+                await self.commit.submit_many(items)
+                with tracer.span("serve_batch", request_id=rid, size=len(items)):
+                    pass
             return Response(rid, op, Status.OK, count=len(request.items))
         if op is Op.SCAN:
             limit = min(
                 request.limit or self.config.scan_limit, self.config.scan_limit
             )
             pairs = []
-            with self.obs.tracer.span(
-                "serve_scan", request_id=rid, lo=request.lo, hi=request.hi
+            with tracer.span_for(
+                "serve_scan", trace_id, parent_id, request_id=rid,
+                lo=request.lo, hi=request.hi,
             ):
                 for key, value in self.store.scan(request.lo, request.hi):
                     pairs.append((key, self._encode_value(value)))
@@ -410,13 +528,42 @@ class ReproServer:
                         break
             return Response(rid, op, Status.OK, pairs=tuple(pairs))
         if op is Op.STATS:
-            with self.obs.tracer.span("serve_stats", request_id=rid):
+            with tracer.span_for("serve_stats", trace_id, parent_id,
+                                 request_id=rid):
                 payload = json.dumps(self.stats(), sort_keys=True)
+            return Response(rid, op, Status.OK, value=payload.encode("utf-8"))
+        if op is Op.TRACE:
+            payload_dict = self._trace_payload(request.key)
+            if payload_dict is None:
+                return Response(rid, op, Status.NOT_FOUND)
+            payload = json.dumps(payload_dict, sort_keys=True)
             return Response(rid, op, Status.OK, value=payload.encode("utf-8"))
         # SHUTDOWN: acknowledge, then drain in the background so the
         # response still reaches the requester.
         asyncio.get_running_loop().create_task(self.drain("SHUTDOWN op"))
         return Response(rid, op, Status.OK)
+
+    def _trace_payload(self, trace_id: int) -> dict | None:
+        """Body of a TRACE response: one trace's spans, or (id 0) the
+        sink summary. None → NOT_FOUND."""
+        sink = self.obs.trace_sink
+        if trace_id == 0:
+            if sink is None:
+                return {
+                    "tracing_enabled": False,
+                    "traces": 0,
+                    "capacity": 0,
+                    "trace_ids": [],
+                    "dropped_traces": 0,
+                    "dropped_spans": 0,
+                }
+            out = sink.summary()
+            out["tracing_enabled"] = True
+            out["spans_dropped_total"] = self.obs.dropped_spans_total()
+            return out
+        if sink is None:
+            return None
+        return sink.to_payload(trace_id)
 
     @staticmethod
     def _encode_value(value) -> bytes:
@@ -442,10 +589,20 @@ class ReproServer:
                 "draining": self._draining,
                 "commit_batches": self.commit.batches,
                 "commit_items": self.commit.items,
+                "commit_failed_items": self.commit.failed_items,
                 "commit_queue_depth": self.commit.queue_depth,
             },
             "store": store_block,
         }
+        if self.obs.enabled and self.obs.trace_sink is not None:
+            tracing = self.obs.trace_sink.summary()
+            tracing.pop("trace_ids", None)  # ids live behind the TRACE op
+            tracing["spans_dropped_total"] = self.obs.dropped_spans_total()
+            out["tracing"] = tracing
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.to_payload(PANEL_SERIES)
+        if self.slo is not None and self.slo.last_statuses:
+            out["slo"] = self.slo.as_dict()
         if self.config.stats_full_metrics and self.obs.enabled:
             out["metrics"] = registry_to_dict(self.obs.registry)
         return out

@@ -1,0 +1,281 @@
+"""Bench-regression gate: diff fresh bench artifacts against pinned
+baselines with per-metric tolerance bands.
+
+``repro benchdiff`` compares a freshly produced ``BENCH_core.json``
+(and optionally ``BENCH_serve.json``) against the committed baselines
+under ``benchmarks/baselines/`` and exits nonzero when any metric
+leaves its band. The bands encode the repo's measurement philosophy:
+
+* **counted I/Os and modelled latency are deterministic** — same code,
+  same seed, same numbers — so their bands are tight (a few percent,
+  just enough slack for float accumulation order). A counted-I/O
+  regression is a *real* algorithmic change, never noise.
+* **wall-clock numbers are machine noise** — throughput and latency
+  percentiles of a Python engine in CI jitter wildly — so their bands
+  are deliberately generous (e.g. throughput may drop 60%, p99 may
+  quadruple, before the gate trips). They only catch catastrophic
+  slowdowns, which is exactly what a CI gate is for.
+
+A band violation is *not* symmetric: each metric declares which
+direction is a regression. Getting faster never fails the gate, but an
+unexpected *drop* in counted I/Os still does — silently doing less
+work is as suspicious as doing more, and usually means the benchmark
+stopped measuring what it thinks it measures.
+
+Baselines are compared like-for-like: if the baseline was produced
+with a different ops count, seed, or policy, the diff refuses to
+compare rather than produce a meaningless verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+#: Keys that must match between baseline and current for a core diff
+#: to be meaningful at all.
+CORE_CONFIG_KEYS = ("ops_per_case", "preload", "seed", "policy", "bits_per_entry")
+
+#: Same, for the serve artifact (nested under ``config``).
+SERVE_CONFIG_KEYS = (
+    "ops", "connections", "workload", "key_space", "read_fraction", "seed",
+)
+
+
+@dataclass(frozen=True)
+class Band:
+    """Tolerance band for one metric.
+
+    ``max_increase`` / ``max_decrease`` are relative fractions of the
+    baseline value (``0.05`` = 5%); ``None`` leaves that direction
+    unchecked. ``floor`` is an absolute slack added on top of the
+    relative band — it keeps near-zero baselines (0.01 counted I/Os
+    per op, 0 errors) from turning tiny absolute wiggles into huge
+    relative ones.
+
+    current violates iff::
+
+        current > baseline * (1 + max_increase) + floor      (if set)
+        current < baseline * (1 - max_decrease) - floor      (if set)
+    """
+
+    max_increase: float | None = None
+    max_decrease: float | None = None
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_increase is None and self.max_decrease is None:
+            raise ValueError("band must check at least one direction")
+        for name in ("max_increase", "max_decrease"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.floor < 0:
+            raise ValueError(f"floor must be >= 0, got {self.floor}")
+
+    def check(self, baseline: float, current: float) -> str | None:
+        """Return a violation description, or None when in band."""
+        if self.max_increase is not None:
+            limit = baseline * (1 + self.max_increase) + self.floor
+            if current > limit:
+                return (
+                    f"rose to {current:g} (baseline {baseline:g}, "
+                    f"limit {limit:g})"
+                )
+        if self.max_decrease is not None:
+            limit = baseline * (1 - self.max_decrease) - self.floor
+            if current < limit:
+                return (
+                    f"fell to {current:g} (baseline {baseline:g}, "
+                    f"limit {limit:g})"
+                )
+        return None
+
+
+#: Per-metric bands for one BENCH_core.json case row. Keys are dotted
+#: paths into the row dict.
+CORE_BANDS: dict[str, Band] = {
+    # Deterministic counted quantities: tight both ways.
+    "counted_per_op.storage_reads": Band(0.03, 0.03, floor=0.02),
+    "counted_per_op.storage_writes": Band(0.03, 0.03, floor=0.02),
+    "counted_per_op.memory_ios": Band(0.03, 0.03, floor=0.5),
+    "modelled_ns_per_op": Band(0.05, 0.05, floor=5.0),
+    "false_positives": Band(0.10, None, floor=3.0),
+    # Wall-clock: generous, regression-direction only.
+    "throughput_ops_per_s": Band(None, 0.60),
+    "wall_latency_us.p50": Band(4.0, None, floor=50.0),
+    "wall_latency_us.p99": Band(4.0, None, floor=200.0),
+}
+
+#: Per-metric bands for the BENCH_serve.json summary.
+SERVE_BANDS: dict[str, Band] = {
+    "throughput_ops_per_s": Band(None, 0.60),
+    "latency_us.all.p50_us": Band(4.0, None, floor=200.0),
+    "latency_us.all.p99_us": Band(4.0, None, floor=1000.0),
+    "latency_us.read.p99_us": Band(4.0, None, floor=1000.0),
+    "latency_us.update.p99_us": Band(4.0, None, floor=1000.0),
+    # Correctness-flavored: any error is a gate failure.
+    "errors": Band(0.0, None, floor=0.0),
+}
+
+
+def _lookup(tree: dict[str, Any], path: str) -> float | None:
+    node: Any = tree
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def _diff_tree(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    bands: dict[str, Band],
+    where: str,
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """Check every band against one (baseline, current) dict pair.
+
+    Returns ``(checks, violations)``; every check appears in the first
+    list, violating ones also in the second.
+    """
+    checks: list[dict[str, Any]] = []
+    violations: list[dict[str, Any]] = []
+    for path, band in bands.items():
+        base = _lookup(baseline, path)
+        cur = _lookup(current, path)
+        if base is None or cur is None:
+            # A metric missing on either side is itself a violation:
+            # artifacts must stay schema-compatible with the baseline.
+            entry = {
+                "where": where,
+                "metric": path,
+                "baseline": base,
+                "current": cur,
+                "problem": "metric missing from "
+                + ("baseline" if base is None else "current artifact"),
+            }
+            checks.append(entry)
+            violations.append(entry)
+            continue
+        problem = band.check(base, cur)
+        entry = {
+            "where": where,
+            "metric": path,
+            "baseline": base,
+            "current": cur,
+            "problem": problem,
+        }
+        checks.append(entry)
+        if problem is not None:
+            violations.append(entry)
+    return checks, violations
+
+
+def _config_mismatches(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    keys: tuple[str, ...],
+) -> list[str]:
+    out = []
+    for key in keys:
+        if baseline.get(key) != current.get(key):
+            out.append(
+                f"{key}: baseline={baseline.get(key)!r} "
+                f"current={current.get(key)!r}"
+            )
+    return out
+
+
+def diff_core(
+    baseline: dict[str, Any], current: dict[str, Any]
+) -> dict[str, Any]:
+    """Diff two BENCH_core.json reports case-by-case.
+
+    Cases are matched by ``name``; a case present in the baseline but
+    absent from the current run (or vice versa) is a violation —
+    coverage must not silently shrink.
+    """
+    mismatches = _config_mismatches(baseline, current, CORE_CONFIG_KEYS)
+    checks: list[dict[str, Any]] = []
+    violations: list[dict[str, Any]] = []
+    if not mismatches:
+        base_cases = {row["name"]: row for row in baseline.get("cases", [])}
+        cur_cases = {row["name"]: row for row in current.get("cases", [])}
+        for name in sorted(set(base_cases) | set(cur_cases)):
+            if name not in base_cases or name not in cur_cases:
+                entry = {
+                    "where": name,
+                    "metric": "(case)",
+                    "baseline": None,
+                    "current": None,
+                    "problem": "case missing from "
+                    + ("current run" if name not in cur_cases else "baseline"),
+                }
+                checks.append(entry)
+                violations.append(entry)
+                continue
+            case_checks, case_violations = _diff_tree(
+                base_cases[name], cur_cases[name], CORE_BANDS, name
+            )
+            checks.extend(case_checks)
+            violations.extend(case_violations)
+    return {
+        "artifact": "core",
+        "ok": not mismatches and not violations,
+        "config_mismatches": mismatches,
+        "checks": checks,
+        "violations": violations,
+    }
+
+
+def diff_serve(
+    baseline: dict[str, Any], current: dict[str, Any]
+) -> dict[str, Any]:
+    """Diff two BENCH_serve.json summaries."""
+    mismatches = _config_mismatches(
+        baseline.get("config", {}), current.get("config", {}),
+        SERVE_CONFIG_KEYS,
+    )
+    checks: list[dict[str, Any]] = []
+    violations: list[dict[str, Any]] = []
+    if not mismatches:
+        checks, violations = _diff_tree(
+            baseline, current, SERVE_BANDS, "serve"
+        )
+    return {
+        "artifact": "serve",
+        "ok": not mismatches and not violations,
+        "config_mismatches": mismatches,
+        "checks": checks,
+        "violations": violations,
+    }
+
+
+def load_artifact(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def format_report(result: dict[str, Any]) -> str:
+    """Render one diff result as the terminal/CI report."""
+    lines = [f"benchdiff [{result['artifact']}]"]
+    if result["config_mismatches"]:
+        lines.append("  CONFIG MISMATCH — refusing to compare:")
+        for mismatch in result["config_mismatches"]:
+            lines.append(f"    {mismatch}")
+        return "\n".join(lines)
+    n_checks = len(result["checks"])
+    n_bad = len(result["violations"])
+    for entry in result["violations"]:
+        lines.append(
+            f"  FAIL {entry['where']}: {entry['metric']} {entry['problem']}"
+        )
+    if n_bad:
+        lines.append(f"  {n_bad}/{n_checks} metrics out of band")
+    else:
+        lines.append(f"  OK — {n_checks} metrics within bands")
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""The bench-regression gate: tolerance-band math, core and serve
+artifact diffs, the injected-regression canary, and config-mismatch
+refusal.
+"""
+
+import copy
+
+import pytest
+
+from repro.workloads.benchdiff import (
+    Band,
+    diff_core,
+    diff_serve,
+    format_report,
+)
+
+
+def core_report():
+    def case(name):
+        preset, workload = name.split("/")
+        return {
+            "name": name,
+            "preset": preset,
+            "workload": workload,
+            "ops": 2040,
+            "throughput_ops_per_s": 5000.0,
+            "counted_per_op": {
+                "storage_reads": 1.20,
+                "storage_writes": 0.45,
+                "memory_ios": 30.0,
+            },
+            "false_positives": 12,
+            "modelled_ns_per_op": 5400.0,
+            "wall_latency_us": {"p50": 150.0, "p95": 400.0, "p99": 900.0},
+        }
+
+    return {
+        "suite": "core",
+        "ops_per_case": 2000,
+        "preload": 500,
+        "seed": 0,
+        "policy": "chucky",
+        "bits_per_entry": 10.0,
+        "cases": [case("leveled/uniform"), case("tiered/zipf")],
+    }
+
+
+def serve_summary():
+    return {
+        "bench": "serve",
+        "config": {
+            "ops": 5000, "connections": 8, "workload": "ycsb-b",
+            "key_space": 2000, "read_fraction": 0.95, "seed": 0,
+        },
+        "throughput_ops_per_s": 4000.0,
+        "busy_retries": 3,
+        "errors": 0,
+        "latency_us": {
+            "all": {"p50_us": 900.0, "p99_us": 2500.0},
+            "read": {"p99_us": 2200.0},
+            "update": {"p99_us": 3000.0},
+        },
+    }
+
+
+class TestBand:
+    def test_within_band_passes(self):
+        band = Band(max_increase=0.05, max_decrease=0.05)
+        assert band.check(100.0, 104.0) is None
+        assert band.check(100.0, 96.0) is None
+
+    def test_violations_in_each_direction(self):
+        band = Band(max_increase=0.05, max_decrease=0.05)
+        assert "rose" in band.check(100.0, 106.0)
+        assert "fell" in band.check(100.0, 94.0)
+
+    def test_unchecked_direction_never_fires(self):
+        assert Band(max_increase=0.05).check(100.0, 0.0) is None
+        assert Band(max_decrease=0.05).check(100.0, 1e9) is None
+
+    def test_floor_absorbs_absolute_wiggle_near_zero(self):
+        band = Band(max_increase=0.03, max_decrease=0.03, floor=0.02)
+        assert band.check(0.0, 0.02) is None
+        assert "rose" in band.check(0.0, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Band()
+        with pytest.raises(ValueError):
+            Band(max_increase=-0.1)
+        with pytest.raises(ValueError):
+            Band(max_increase=0.1, floor=-1.0)
+
+
+class TestDiffCore:
+    def test_identical_reports_pass(self):
+        result = diff_core(core_report(), core_report())
+        assert result["ok"]
+        assert result["violations"] == []
+        assert "OK" in format_report(result)
+
+    def test_injected_2x_latency_regression_fails(self):
+        """The canary: double every case's modelled latency and the
+        gate must trip."""
+        current = core_report()
+        for row in current["cases"]:
+            row["modelled_ns_per_op"] *= 2.0
+        result = diff_core(core_report(), current)
+        assert not result["ok"]
+        bad_metrics = {v["metric"] for v in result["violations"]}
+        assert bad_metrics == {"modelled_ns_per_op"}
+        assert "FAIL" in format_report(result)
+
+    def test_counted_io_drop_also_fails(self):
+        # Silently doing less counted work is as suspicious as more.
+        current = core_report()
+        current["cases"][0]["counted_per_op"]["storage_reads"] = 0.5
+        result = diff_core(core_report(), current)
+        assert not result["ok"]
+        assert result["violations"][0]["where"] == "leveled/uniform"
+
+    def test_wall_noise_within_generous_bands_passes(self):
+        current = core_report()
+        for row in current["cases"]:
+            row["throughput_ops_per_s"] *= 0.5  # half speed: noisy CI
+            row["wall_latency_us"]["p99"] *= 3.0
+        assert diff_core(core_report(), current)["ok"]
+
+    def test_catastrophic_wall_regression_fails(self):
+        current = core_report()
+        current["cases"][0]["throughput_ops_per_s"] *= 0.2
+        assert not diff_core(core_report(), current)["ok"]
+
+    def test_config_mismatch_refuses_to_compare(self):
+        current = core_report()
+        current["seed"] = 99
+        result = diff_core(core_report(), current)
+        assert not result["ok"]
+        assert result["config_mismatches"]
+        assert result["checks"] == []
+        assert "CONFIG MISMATCH" in format_report(result)
+
+    def test_missing_case_is_a_violation(self):
+        current = core_report()
+        current["cases"].pop()
+        result = diff_core(core_report(), current)
+        assert not result["ok"]
+        assert any(v["metric"] == "(case)" for v in result["violations"])
+
+    def test_missing_metric_is_a_violation(self):
+        current = core_report()
+        del current["cases"][0]["modelled_ns_per_op"]
+        result = diff_core(core_report(), current)
+        assert not result["ok"]
+        assert "missing" in result["violations"][0]["problem"]
+
+
+class TestDiffServe:
+    def test_identical_pass_and_latency_canary(self):
+        assert diff_serve(serve_summary(), serve_summary())["ok"]
+        current = serve_summary()
+        current["latency_us"]["all"]["p99_us"] *= 20.0
+        assert not diff_serve(serve_summary(), current)["ok"]
+
+    def test_any_error_fails_the_gate(self):
+        current = serve_summary()
+        current["errors"] = 1
+        result = diff_serve(serve_summary(), current)
+        assert not result["ok"]
+        assert result["violations"][0]["metric"] == "errors"
+
+    def test_serve_config_mismatch_refuses(self):
+        current = serve_summary()
+        current["config"]["connections"] = 16
+        result = diff_serve(serve_summary(), current)
+        assert not result["ok"]
+        assert result["config_mismatches"]
+
+
+class TestRealArtifacts:
+    def test_gate_on_a_real_bench_run(self, tmp_path):
+        """Full-stack: run the (tiny) real suite twice - self-diff must
+        pass, a doctored copy must fail."""
+        from repro.workloads.bench import BenchCase, run_bench
+
+        report = run_bench(
+            ops=120, preload=60,
+            cases=[BenchCase(preset="leveled", workload="uniform")],
+        )
+        assert diff_core(report, copy.deepcopy(report))["ok"]
+        doctored = copy.deepcopy(report)
+        doctored["cases"][0]["modelled_ns_per_op"] *= 2.0
+        assert not diff_core(report, doctored)["ok"]

@@ -1,0 +1,139 @@
+"""The terminal dashboard: sparkline scaling, the pure renderer over a
+synthetic STATS payload, and a single-frame poll against a live
+server (the ``--once`` CI smoke path).
+"""
+
+import asyncio
+import queue
+import threading
+
+import pytest
+
+from repro.obs.dash import render_dashboard, run_dash, sparkline
+
+
+def synthetic_stats():
+    return {
+        "server": {
+            "requests": 1234, "errors": 2, "shed": 10, "inflight": 3,
+            "connections": 4, "commit_batches": 50, "commit_items": 400,
+            "commit_queue_depth": 1,
+        },
+        "tracing": {
+            "traces": 12, "capacity": 128,
+            "dropped_traces": 0, "spans_dropped_total": 5,
+        },
+        "telemetry": {
+            "samples_taken": 30,
+            "capacity": 512,
+            "series": {
+                "server_requests_total": [[float(i), i * 100] for i in range(10)],
+                "server_get_latency_us.p99": [[float(i), 200.0] for i in range(10)],
+                "cache_hit_ratio": [[float(i), 0.9] for i in range(10)],
+            },
+        },
+        "slo": {
+            "evaluations": 30,
+            "alerting": ["error-rate"],
+            "objectives": [
+                {"name": "error-rate", "kind": "ratio", "value": 0.05,
+                 "burn_rate": 12.0, "alerting": True, "windows": []},
+                {"name": "get-latency", "kind": "latency", "value": 0.0,
+                 "burn_rate": 0.0, "alerting": False, "windows": []},
+            ],
+        },
+    }
+
+
+class TestSparkline:
+    def test_fixed_width_and_scaling(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7], width=8)
+        assert len(line) == 8
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series_is_low_bar(self):
+        assert sparkline([5.0, 5.0, 5.0], width=3) == "▁▁▁"
+
+    def test_empty_series_is_blank(self):
+        assert sparkline([], width=6) == " " * 6
+
+    def test_long_series_keeps_the_tail(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[-1] == "█"
+
+    def test_short_series_right_aligned(self):
+        line = sparkline([1.0, 2.0], width=8)
+        assert len(line) == 8 and line.startswith(" ")
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestRenderDashboard:
+    def test_renders_all_sections(self):
+        text = render_dashboard(synthetic_stats())
+        assert "requests" in text and "1.23k" in text
+        assert "traces held" in text
+        assert "telemetry (30 samples" in text
+        assert "get p99 us" in text
+        assert "ALERT: error-rate" in text
+        assert "[!!] error-rate" in text
+        assert "[ok] get-latency" in text
+
+    def test_counter_series_rendered_as_rate(self):
+        text = render_dashboard(synthetic_stats())
+        # server_requests_total grows by 100 per sample -> delta 100/s.
+        line = next(l for l in text.splitlines() if "requests" in l and "/s" in l)
+        assert "100" in line
+
+    def test_minimal_stats_render_without_optional_blocks(self):
+        text = render_dashboard({"server": {"requests": 1}})
+        assert "requests" in text
+        assert "telemetry" not in text
+        assert "slo" not in text
+
+    def test_no_ansi_in_pure_render(self):
+        assert "\x1b" not in render_dashboard(synthetic_stats())
+
+
+class TestLiveOnce:
+    def test_single_frame_against_live_server(self):
+        from repro.engine import EngineConfig, build_store
+        from repro.obs import Observability
+        from repro.server import ReproServer, ServerConfig
+
+        ports: queue.Queue = queue.Queue()
+
+        def serve():
+            async def main():
+                store = build_store(
+                    EngineConfig(size_ratio=3, buffer_entries=16,
+                                 block_entries=4, durable=True),
+                    Observability(),
+                )
+                server = ReproServer(
+                    store, ServerConfig(telemetry_interval=0.02),
+                    observability=store.obs,
+                )
+                ports.put(await server.start())
+                await server.serve_until_drained()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        port = ports.get(timeout=10)
+
+        frames = []
+        run_dash("127.0.0.1", port, once=True, out=frames.append)
+        assert len(frames) == 1
+        assert "repro dash" in frames[0]
+        assert "\x1b" not in frames[0]  # --once never clears the screen
+
+        from repro.server import SyncClient
+
+        with SyncClient("127.0.0.1", port) as client:
+            client.shutdown()
+        thread.join(timeout=10)

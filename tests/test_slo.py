@@ -1,0 +1,217 @@
+"""SLO declarations and multi-window burn-rate math on synthetic
+series: ratio burn, latency burn, the long+short AND rule, gauge
+export, listeners, and the TuningController hook.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    BurnWindow,
+    SLOEngine,
+    default_server_slos,
+    default_store_slos,
+)
+from repro.obs.timeseries import TimeSeriesStore
+
+WINDOWS = (BurnWindow(long_s=60.0, short_s=15.0, threshold=10.0),)
+
+
+def ratio_slo(target=0.01, windows=WINDOWS):
+    return SLO(
+        name="error-rate",
+        kind="ratio",
+        bad_series="errors_total",
+        total_series="requests_total",
+        target=target,
+        windows=windows,
+    )
+
+
+def make_env():
+    registry = MetricsRegistry()
+    errors = registry.counter("errors_total")
+    requests = registry.counter("requests_total")
+    latency = registry.histogram("lat_us", (100.0, 1000.0, 10_000.0))
+    ts = TimeSeriesStore(registry)
+    return registry, errors, requests, latency, ts
+
+
+class TestDeclarations:
+    def test_kind_and_field_validation(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="availability")
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="ratio", bad_series="b", total_series="t",
+                target=1.5)
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="latency", series="s", threshold=0.0,
+                budget=0.01)
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="ratio", bad_series="b", total_series="t",
+                target=0.1, windows=())
+
+    def test_burn_window_validation(self):
+        with pytest.raises(ValueError):
+            BurnWindow(long_s=10.0, short_s=60.0, threshold=1.0)
+        with pytest.raises(ValueError):
+            BurnWindow(long_s=60.0, short_s=15.0, threshold=0.0)
+
+    def test_engine_rejects_duplicate_names(self):
+        _, _, _, _, ts = make_env()
+        with pytest.raises(ValueError):
+            SLOEngine([ratio_slo(), ratio_slo()], ts)
+
+    def test_metric_stem_sanitizes(self):
+        assert ratio_slo().metric_stem == "error_rate"
+
+
+class TestRatioBurn:
+    def test_burn_is_bad_fraction_over_target(self):
+        _, errors, requests, _, ts = make_env()
+        engine = SLOEngine([ratio_slo(target=0.01)], ts)
+        ts.sample(now=0.0)
+        requests.inc(1000)
+        errors.inc(50)  # 5% bad, target 1% -> burn 5
+        ts.sample(now=15.0)
+        status = engine.evaluate(now=15.0)[0]
+        assert status.burn_rate == pytest.approx(5.0)
+        assert status.value == pytest.approx(0.05)
+        assert not status.alerting  # 5 < threshold 10
+
+    def test_alerts_only_when_both_windows_burn(self):
+        _, errors, requests, _, ts = make_env()
+        engine = SLOEngine([ratio_slo(target=0.01)], ts)
+        # A burst 45s ago: long window sees it, short window does not.
+        ts.sample(now=0.0)
+        requests.inc(300)
+        errors.inc(300)  # 100% bad in that slice
+        ts.sample(now=15.0)
+        requests.inc(1000)  # recent traffic is clean
+        ts.sample(now=45.0)
+        ts.sample(now=60.0)
+        status = engine.evaluate(now=60.0)[0]
+        long_burn = status.windows[0]["long_burn"]
+        short_burn = status.windows[0]["short_burn"]
+        assert long_burn > 10.0  # still over threshold on its own
+        assert short_burn == 0.0  # but the problem has stopped
+        assert not status.alerting
+
+    def test_sustained_burn_alerts(self):
+        _, errors, requests, _, ts = make_env()
+        engine = SLOEngine([ratio_slo(target=0.01)], ts)
+        ts.sample(now=0.0)
+        for step in range(1, 5):
+            requests.inc(250)
+            errors.inc(50)  # 20% bad throughout -> burn 20
+            ts.sample(now=step * 15.0)
+        status = engine.evaluate(now=60.0)[0]
+        assert status.alerting
+        assert status.burn_rate == pytest.approx(20.0)
+
+    def test_no_traffic_is_not_burning(self):
+        _, _, _, _, ts = make_env()
+        engine = SLOEngine([ratio_slo()], ts)
+        ts.sample(now=0.0)
+        ts.sample(now=15.0)
+        status = engine.evaluate(now=15.0)[0]
+        assert status.burn_rate == 0.0
+        assert not status.alerting
+
+
+class TestLatencyBurn:
+    def latency_slo(self):
+        return SLO(
+            name="get-latency",
+            kind="latency",
+            series="lat_us",
+            threshold=1000.0,
+            budget=0.01,
+            windows=WINDOWS,
+        )
+
+    def test_burn_is_violating_fraction_over_budget(self):
+        _, _, _, latency, ts = make_env()
+        engine = SLOEngine([self.latency_slo()], ts)
+        ts.sample(now=0.0)
+        for _ in range(95):
+            latency.observe(100)
+        for _ in range(5):
+            latency.observe(5000)  # 5% above 1000us, budget 1% -> burn 5
+        ts.sample(now=15.0)
+        status = engine.evaluate(now=15.0)[0]
+        assert status.burn_rate == pytest.approx(5.0)
+        assert status.value == pytest.approx(0.05)
+        assert not status.alerting
+
+    def test_slow_storm_alerts(self):
+        _, _, _, latency, ts = make_env()
+        engine = SLOEngine([self.latency_slo()], ts)
+        ts.sample(now=0.0)
+        for step in range(1, 5):
+            for _ in range(10):
+                latency.observe(100)
+            for _ in range(10):
+                latency.observe(5000)  # 50% slow -> burn 50
+            ts.sample(now=step * 15.0)
+        status = engine.evaluate(now=60.0)[0]
+        assert status.alerting
+
+
+class TestEngineOutputs:
+    def test_gauges_exported_into_registry(self):
+        registry, errors, requests, _, ts = make_env()
+        engine = SLOEngine([ratio_slo(target=0.01)], ts, registry=registry)
+        ts.sample(now=0.0)
+        requests.inc(100)
+        errors.inc(50)
+        ts.sample(now=15.0)
+        engine.evaluate(now=15.0)
+        assert registry.gauge("slo_error_rate_burn_rate").value == pytest.approx(50.0)
+        assert registry.gauge("slo_error_rate_alerting").value == 1.0
+        assert registry.gauge("slo_error_rate_value").value == pytest.approx(0.5)
+
+    def test_listeners_and_as_dict(self):
+        _, errors, requests, _, ts = make_env()
+        engine = SLOEngine([ratio_slo()], ts)
+        seen = []
+        engine.add_listener(seen.append)
+        ts.sample(now=0.0)
+        requests.inc(10)
+        ts.sample(now=15.0)
+        engine.evaluate(now=15.0)
+        assert len(seen) == 1 and seen[0][0].name == "error-rate"
+        payload = engine.as_dict()
+        assert payload["evaluations"] == 1
+        assert payload["alerting"] == []
+        assert payload["objectives"][0]["name"] == "error-rate"
+
+    def test_tuning_controller_hook(self):
+        from repro.engine import EngineConfig, build_store
+        from repro.tuning import TuningConfig, TuningController
+
+        registry, errors, requests, _, ts = make_env()
+        config = EngineConfig(size_ratio=3, buffer_entries=16, block_entries=4)
+        store = build_store(config)
+        controller = TuningController(store, config, TuningConfig())
+        engine = SLOEngine([ratio_slo(target=0.01)], ts)
+        engine.add_listener(controller.on_slo)
+        ts.sample(now=0.0)
+        requests.inc(100)
+        errors.inc(50)
+        ts.sample(now=15.0)
+        engine.evaluate(now=15.0)
+        assert controller.last_slo[0]["name"] == "error-rate"
+        assert controller.last_slo[0]["alerting"] is True
+        assert controller.status()["slo"][0]["name"] == "error-rate"
+
+
+class TestDefaults:
+    def test_default_slo_sets_validate(self):
+        names = {slo.name for slo in default_server_slos()}
+        assert names == {
+            "get-latency", "error-rate", "busy-rate", "write-durability"
+        }
+        store_names = {slo.name for slo in default_store_slos()}
+        assert store_names == {"read-modelled-latency", "false-positive-rate"}

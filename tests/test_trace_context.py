@@ -1,0 +1,388 @@
+"""End-to-end request tracing: the wire trace header, head sampling,
+cross-process span trees, the TRACE op, dropped-span accounting, and
+the bit-identity guarantee (tracing off -> counted I/Os unchanged).
+
+Same harness idiom as test_server.py: no pytest-asyncio, every test
+runs its own loop via ``asyncio.run`` and binds port 0.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import EngineConfig, build_store
+from repro.obs import Observability
+from repro.obs.context import (
+    HeadSampler,
+    TraceBuffer,
+    format_trace_id,
+    new_span_id,
+    new_trace_id,
+    parse_trace_id,
+)
+from repro.obs.trace import Span
+from repro.server import (
+    AsyncClient,
+    ClientTraceConfig,
+    Op,
+    ProtocolError,
+    ReproServer,
+    Request,
+    ServerConfig,
+    decode_request,
+    encode_request,
+)
+
+HOST = "127.0.0.1"
+
+
+def small_config(**overrides):
+    fields = dict(
+        size_ratio=3, buffer_entries=16, block_entries=4, shards=2,
+        durable=True,
+    )
+    fields.update(overrides)
+    return EngineConfig(**fields)
+
+
+async def start_server(obs=None, server_config=None):
+    store = build_store(small_config(), obs)
+    server = ReproServer(store, server_config, observability=obs)
+    port = await server.start()
+    return server, store, port
+
+
+def span_names(span_dict):
+    yield span_dict["name"]
+    for child in span_dict.get("children", []):
+        yield from span_names(child)
+
+
+class TestWireHeader:
+    def test_trace_context_round_trips(self):
+        req = Request(
+            7, Op.GET, key=42, trace_id=0xDEAD_BEEF, parent_span_id=0x1234
+        )
+        decoded = decode_request(encode_request(req))
+        assert decoded.trace_id == 0xDEAD_BEEF
+        assert decoded.parent_span_id == 0x1234
+        assert decoded.op is Op.GET and decoded.key == 42
+
+    def test_untraced_request_has_zero_context(self):
+        decoded = decode_request(encode_request(Request(1, Op.GET, key=5)))
+        assert decoded.trace_id == 0
+        assert decoded.parent_span_id == 0
+
+    def test_untraced_encoding_is_byte_identical_to_pre_trace_wire(self):
+        # The header is strictly additive: requests without a trace
+        # context must not change on the wire at all.
+        payload = encode_request(Request(3, Op.PUT, key=9, value=b"v"))
+        assert payload[8] == Op.PUT.value  # opcode byte, no TRACE_FLAG
+
+    def test_flagged_frame_with_truncated_header_rejected(self):
+        payload = bytearray(encode_request(Request(1, Op.GET, key=5)))
+        payload[8] |= 0x80  # claim a trace header that is not there
+        with pytest.raises(ProtocolError):
+            decode_request(bytes(payload))
+
+    def test_flagged_frame_with_zero_trace_id_rejected(self):
+        good = encode_request(
+            Request(1, Op.GET, key=5, trace_id=1, parent_span_id=1)
+        )
+        bad = good[:9] + b"\x00" * 8 + good[17:]
+        with pytest.raises(ProtocolError):
+            decode_request(bad)
+
+    def test_server_survives_malformed_trace_header(self):
+        async def main():
+            server, _, port = await start_server()
+            reader, writer = await asyncio.open_connection(HOST, port)
+            payload = bytearray(encode_request(Request(1, Op.GET, key=5)))
+            payload[8] |= 0x80
+            writer.write(len(payload).to_bytes(4, "big") + bytes(payload))
+            await writer.drain()
+            assert await reader.read(64) == b""  # connection dropped
+            writer.close()
+            # The listener is still healthy for well-formed clients.
+            client = await AsyncClient.connect(HOST, port)
+            await client.put(1, "one")
+            assert await client.get(1) == b"one"
+            await client.close()
+            bad_frames = server.bad_frames
+            await server.drain()
+            return bad_frames
+
+        assert asyncio.run(main()) == 1
+
+    def test_id_formatting_round_trip(self):
+        tid = new_trace_id()
+        assert parse_trace_id(format_trace_id(tid)) == tid
+        assert parse_trace_id(str(tid)) == tid
+
+
+class TestHeadSampling:
+    def test_sampler_is_deterministic_one_in_n(self):
+        sampler = HeadSampler(every=3)
+        decisions = [sampler.decide() for _ in range(9)]
+        assert decisions == [False, False, True] * 3  # every Nth request
+        assert sampler.sampled == 3
+
+    def test_client_samples_and_server_honors(self):
+        async def main():
+            obs = Observability()
+            server, _, port = await start_server(obs=obs)
+            client = await AsyncClient.connect(
+                HOST, port, trace=ClientTraceConfig(sample_every=4)
+            )
+            for key in range(8):
+                await client.put(key, f"v{key}")
+                await client.get(key)
+            sampled_ids = list(client.sampled_trace_ids)
+            held = set(obs.trace_sink.trace_ids())
+            await client.close()
+            await server.drain()
+            return client.traces_sampled, sampled_ids, held
+
+        sampled, ids, held = asyncio.run(main())
+        assert sampled == 4  # 16 requests at 1-in-4
+        assert len(ids) == 4
+        # Every client-sampled trace reached the server's sink with the
+        # *client's* trace id — context propagated over the wire.
+        assert set(ids) <= held
+
+    def test_unsampled_requests_leave_no_server_trace(self):
+        async def main():
+            obs = Observability()
+            server, _, port = await start_server(obs=obs)
+            client = await AsyncClient.connect(HOST, port)  # tracing off
+            for key in range(10):
+                await client.put(key, "x")
+                await client.get(key)
+            held = list(obs.trace_sink.trace_ids())
+            await client.close()
+            await server.drain()
+            return held
+
+        assert asyncio.run(main()) == []
+
+    def test_slow_upgrade_records_client_side_span(self):
+        async def main():
+            server, _, port = await start_server()
+            client = await AsyncClient.connect(
+                HOST, port,
+                trace=ClientTraceConfig(sample_every=0, slow_us=0.0001),
+            )
+            await client.put(1, "one")  # everything is slower than 0.1ns
+            spans = client.client_spans()
+            upgrades = client.slow_upgrades
+            await client.close()
+            await server.drain()
+            return spans, upgrades
+
+        spans, upgrades = asyncio.run(main())
+        assert upgrades == 1
+        assert spans and spans[0].attrs.get("slow_upgrade") is True
+
+
+class TestEndToEndTrees:
+    def collect(self, read_fraction_ops):
+        async def main():
+            obs = Observability()
+            server, _, port = await start_server(obs=obs)
+            client = await AsyncClient.connect(
+                HOST, port, trace=ClientTraceConfig(sample_every=1)
+            )
+            for op, key in read_fraction_ops:
+                if op == "put":
+                    await client.put(key, f"v{key}")
+                else:
+                    await client.get(key)
+            trees = []
+            for trace_id in client.sampled_trace_ids:
+                payload = await client.fetch_trace(trace_id)
+                assert payload is not None
+                client_half = [
+                    s.to_dict() for s in client.client_spans()
+                    if s.trace_id == trace_id
+                ]
+                trees.append((client_half, payload["spans"]))
+            await client.close()
+            await server.drain()
+            return trees
+
+        return asyncio.run(main())
+
+    def test_get_tree_spans_client_server_and_engine(self):
+        trees = self.collect([("put", 1), ("get", 1)])
+        client_half, server_half = trees[1]
+        assert [s["name"] for s in client_half] == ["client_get"]
+        names = {n for s in server_half for n in span_names(s)}
+        assert "serve_get" in names
+        assert "memtable_probe" in names  # engine read-path probes ride along
+        serve_get = next(s for s in server_half if s["name"] == "serve_get")
+        assert serve_get["parent_id"] == client_half[0]["span_id"]
+        assert serve_get["trace_id"] == client_half[0]["trace_id"]
+
+    def test_put_tree_includes_group_commit(self):
+        trees = self.collect([("put", 5)])
+        client_half, server_half = trees[0]
+        names = {n for s in server_half for n in span_names(s)}
+        assert "serve_put" in names
+        assert "group_commit" in names
+        serve_put = next(s for s in server_half if s["name"] == "serve_put")
+        commit = next(s for s in server_half if s["name"] == "group_commit")
+        assert commit["parent_id"] == serve_put["span_id"]
+
+    def test_trace_op_summary_and_unknown_id(self):
+        async def main():
+            obs = Observability()
+            server, _, port = await start_server(obs=obs)
+            client = await AsyncClient.connect(
+                HOST, port, trace=ClientTraceConfig(sample_every=1)
+            )
+            await client.put(1, "one")
+            summary = await client.fetch_trace(0)
+            missing = await client.fetch_trace(0xDEAD)
+            await client.close()
+            await server.drain()
+            return summary, missing
+
+        summary, missing = asyncio.run(main())
+        assert summary["tracing_enabled"] is True
+        assert summary["traces"] == 1
+        assert missing is None
+
+
+class TestDroppedAccounting:
+    def test_sink_evicts_oldest_and_counts_drops(self):
+        sink = TraceBuffer(max_traces=2, max_spans=8)
+        for i in range(3):
+            span = Span(f"s{i}", {}, 0.0)
+            span.trace_id = 100 + i
+            sink.add(span)
+        assert sink.trace_ids() == [101, 102]
+        assert sink.dropped_traces == 1
+        assert sink.dropped_spans == 1
+        assert sink.to_payload(100) is None
+
+    def test_per_trace_span_cap(self):
+        sink = TraceBuffer(max_traces=4, max_spans=2)
+        for _ in range(5):
+            span = Span("s", {}, 0.0)
+            span.trace_id = 7
+            sink.add(span)
+        assert len(sink.to_payload(7)["spans"]) == 2
+        assert sink.dropped_spans == 3
+
+    def test_server_exposes_dropped_span_metric(self):
+        async def main():
+            obs = Observability(trace_ring=4, max_traces=2)
+            server, _, port = await start_server(obs=obs)
+            client = await AsyncClient.connect(
+                HOST, port, trace=ClientTraceConfig(sample_every=1)
+            )
+            for key in range(12):
+                await client.put(key, "x")
+            summary = await client.fetch_trace(0)
+            stats = await client.stats()
+            await client.close()
+            await server.drain()
+            return summary, stats
+
+        summary, stats = asyncio.run(main())
+        assert summary["dropped_traces"] > 0
+        assert summary["spans_dropped_total"] > 0
+        assert stats["tracing"]["dropped_traces"] > 0
+
+
+class TestBitIdentity:
+    OPS = 300
+
+    def drive_store(self, obs):
+        store = build_store(small_config(durable=False), obs)
+        for i in range(self.OPS):
+            store.put(i % 50, f"v{i}")
+        hits = 0
+        for i in range(self.OPS):
+            hits += store.get((i * 7) % 80) is not None
+        snap = store.snapshot().aggregate
+        return store, hits, snap
+
+    def test_counted_ios_identical_with_and_without_observability(self):
+        """The whole observability stack — spans, probes, sink — must
+        never touch a counter: counted I/Os are bit-identical whether
+        instrumentation is on or off."""
+        _, hits_plain, plain = self.drive_store(None)
+        obs = Observability()
+        store, hits_traced, traced = self.drive_store(obs)
+        assert hits_plain == hits_traced
+        assert traced.storage_reads == plain.storage_reads
+        assert traced.storage_writes == plain.storage_writes
+        assert traced.false_positives == plain.false_positives
+        assert traced.memory == plain.memory
+        # ... while the traced run really did record engine probe spans
+        # (shard stores trace into their own child tracers).
+        names = {s.name for s in store.recent_spans(64)}
+        assert "read" in names
+
+    def test_server_counted_ios_identical_traced_vs_untraced(self):
+        def run(trace):
+            async def main():
+                obs = Observability() if trace else None
+                server, store, port = await start_server(obs=obs)
+                client = await AsyncClient.connect(
+                    HOST, port,
+                    trace=ClientTraceConfig(sample_every=1) if trace else None,
+                )
+                for key in range(40):
+                    await client.put(key, f"v{key}")
+                for key in range(60):
+                    await client.get(key % 45)
+                snap = store.snapshot().aggregate
+                await client.close()
+                await server.drain()
+                return snap.storage_reads, snap.storage_writes
+
+            return asyncio.run(main())
+
+        assert run(trace=True) == run(trace=False)
+
+
+class TestTelemetryOffByDefault:
+    def test_server_without_interval_has_no_telemetry_blocks(self):
+        async def main():
+            obs = Observability()
+            server, _, port = await start_server(obs=obs)
+            client = await AsyncClient.connect(HOST, port)
+            await client.put(1, "one")
+            stats = await client.stats()
+            await client.close()
+            await server.drain()
+            return stats
+
+        stats = asyncio.run(main())
+        assert "telemetry" not in stats
+        assert "slo" not in stats
+
+    def test_server_telemetry_loop_populates_stats(self):
+        async def main():
+            obs = Observability()
+            server, _, port = await start_server(
+                obs=obs,
+                server_config=ServerConfig(telemetry_interval=0.02),
+            )
+            client = await AsyncClient.connect(HOST, port)
+            for key in range(10):
+                await client.put(key, "x")
+                await client.get(key)
+            await asyncio.sleep(0.1)
+            stats = await client.stats()
+            await client.close()
+            await server.drain()
+            return stats
+
+        stats = asyncio.run(main())
+        assert stats["telemetry"]["samples_taken"] >= 2
+        assert "server_requests_total" in stats["telemetry"]["series"]
+        assert stats["slo"]["objectives"]
+        assert stats["slo"]["alerting"] == []
