@@ -64,6 +64,32 @@ def test_chucky_update_lid(benchmark, loaded_chucky):
     benchmark(update)
 
 
+def test_cuckoo_query(benchmark):
+    from repro.filters.cuckoo import CuckooFilter
+
+    filt = CuckooFilter(20000, fingerprint_bits=12)
+    for k in range(15000):
+        filt.add(k)
+    i = iter(range(10**9))
+    benchmark(lambda: filt.may_contain(next(i)))
+
+
+def test_bucket_unpack(benchmark):
+    """The fused table-driven decode path on its own (the pack/unpack
+    roundtrip below times both directions together)."""
+    cb = ChuckyCodebook(DIST, slots=4, bucket_bits=40)
+    codec = BucketCodec(cb, CodecTables(cb))
+    packed, ovf = codec.pack([
+        (6, fingerprint_bits(1, cb.fp_length(6))),
+        (6, fingerprint_bits(2, cb.fp_length(6))),
+        (4, fingerprint_bits(3, cb.fp_length(4))),
+        (cb.empty_lid, 0),
+    ])
+    assert not ovf
+    result = benchmark(lambda: codec.unpack(packed, None))
+    assert len(result) == 4
+
+
 def test_blocked_bloom_query(benchmark):
     filt = BlockedBloomFilter(20000, 10.0)
     for k in range(15000):

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.coding.distributions import Combination
 from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import FilterError
+from repro.chucky import decode as _decode
 from repro.chucky.codebook import ChuckyCodebook
 from repro.chucky.tables import CodecTables
 
@@ -36,6 +37,10 @@ class BucketCodec:
             )
         self.codebook = codebook
         self.tables = tables
+        self._fast = codebook.fast
+        self._bucket_bits = codebook.bucket_bits
+        self._decode_entry = self._fast.decode_table.decode_entry
+        self._pack_plan = self._fast.pack_plans.get
         self.empty_slot: Slot = (codebook.empty_lid, 0)
         self._empty_packed, _ = self.pack([self.empty_slot] * codebook.slots)
 
@@ -59,7 +64,23 @@ class BucketCodec:
                 f"got {len(slots)}"
             )
         ordered = sorted(slots)
-        combo: Combination = tuple(lid for lid, _ in ordered)
+        combo: Combination = tuple([lid for lid, _ in ordered])
+        if _decode.FAST_PATH:
+            plan = self._pack_plan(combo)
+            if plan is None:
+                # Rare combination: the escape code fills the bucket and
+                # the fingerprints spill (counts one filter_rt access,
+                # exactly like the reference path).
+                code, length = self.tables.encode(combo)
+                return code, [fp for _, fp in ordered]
+            base, fields = plan
+            for (lid, shift, flen), (_, fp) in zip(fields, ordered):
+                if fp >> flen:
+                    raise FilterError(
+                        f"fingerprint {fp:#x} wider than {flen} bits for LID {lid}"
+                    )
+                base |= fp << shift
+            return base, None
         code, length = self.tables.encode(combo)
         if length == self.codebook.bucket_bits:
             return code, [fp for _, fp in ordered]
@@ -83,28 +104,48 @@ class BucketCodec:
         combination (the caller looks it up in the overflow hash table
         keyed by bucket index).
         """
-        combo, used = self.tables.decode_prefix(packed, self.codebook.bucket_bits)
-        if used == self.codebook.bucket_bits:
-            if overflow_fps is None:
-                raise FilterError(
-                    "rare-combination bucket decoded without its overflow "
-                    "fingerprints"
-                )
-            if len(overflow_fps) != len(combo):
-                raise FilterError(
-                    f"overflow entry has {len(overflow_fps)} fingerprints "
-                    f"for a {len(combo)}-LID combination"
-                )
-            return list(zip(combo, overflow_fps))
-        reader = BitReader(packed, self.codebook.bucket_bits)
+        if _decode.FAST_PATH:
+            # One fused table walk resolves the combination, the bits
+            # consumed, rarity (plan is None) and the field layout.
+            _used, combo, plan = self._decode_entry(packed, self._bucket_bits)
+            if plan is None:
+                self.tables.charge_rare_decode()
+                return self._overflow_slots(combo, overflow_fps)
+            # Shift/mask the fingerprint fields straight out of the word:
+            # FAC buckets fill exactly, so every field position is
+            # precomputed as an absolute shift in the plan.
+            return [(lid, (packed >> shift) & mask) for lid, shift, mask in plan]
+        bucket_bits = self.codebook.bucket_bits
+        combo, used = self.tables.decode_prefix(packed, bucket_bits)
+        if used == bucket_bits:
+            return self._overflow_slots(combo, overflow_fps)
+        reader = BitReader(packed, bucket_bits)
         reader.skip(used)
         return [(lid, reader.read(self.codebook.fp_length(lid))) for lid in combo]
+
+    def _overflow_slots(
+        self, combo: Combination, overflow_fps: list[int] | None
+    ) -> list[Slot]:
+        """Slots of a rare-combination bucket, from its overflow entry."""
+        if overflow_fps is None:
+            raise FilterError(
+                "rare-combination bucket decoded without its overflow "
+                "fingerprints"
+            )
+        if len(overflow_fps) != len(combo):
+            raise FilterError(
+                f"overflow entry has {len(overflow_fps)} fingerprints "
+                f"for a {len(combo)}-LID combination"
+            )
+        return list(zip(combo, overflow_fps))
 
     def is_rare(self, packed: int) -> bool:
         """True when the packed bucket holds a rare-combination escape
         code (its fingerprints are in the overflow hash table)."""
-        combo, used = self.codebook.code.decode_prefix(
+        if _decode.FAST_PATH:
+            # Under FAC only rare combinations lack an unpack plan.
+            return self._decode_entry(packed, self._bucket_bits)[2] is None
+        _combo, used = self.codebook.code.decode_prefix(
             packed, self.codebook.bucket_bits
         )
-        del combo
         return used == self.codebook.bucket_bits

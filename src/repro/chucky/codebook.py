@@ -40,6 +40,7 @@ from repro.coding.huffman import huffman_code_lengths
 from repro.coding.kraft import CanonicalCode
 from repro.common.errors import CodebookError
 from repro.common.hashing import FP_MIN
+from repro.chucky.decode import BucketFastTables
 from repro.chucky.malleable import (
     LevelCounts,
     _fit_constraint,
@@ -122,6 +123,7 @@ class ChuckyCodebook:
         # codeword range, which is what makes the Decoding Table a flat
         # array (section 4.4).
         self._rare_index = {combo: i for i, combo in enumerate(self.rare)}
+        self._fast: "BucketFastTables | None" = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -198,6 +200,15 @@ class ChuckyCodebook:
 
     def is_frequent(self, combo: Combination) -> bool:
         return combo in self.frequent_set
+
+    @property
+    def fast(self) -> "BucketFastTables":
+        """Hot-path decode table + pack/unpack plans, built lazily once
+        per codebook (a codebook is immutable, so once is enough)."""
+        tables = self._fast
+        if tables is None:
+            tables = self._fast = BucketFastTables(self)
+        return tables
 
     def rare_index(self, combo: Combination) -> int:
         """Position of a rare combination in the Decoding Table."""

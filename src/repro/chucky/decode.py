@@ -1,0 +1,192 @@
+"""Precomputed decode tables and pack/unpack plans for the bucket codec.
+
+The seed decoded combination codes with the canonical first-code/offset
+loop (O(#distinct lengths) integer compares per bucket) and then pulled
+fingerprints out bit-field-by-bit-field through :class:`BitReader`. Both
+are pure per-probe CPU cost the paper never modelled — its cached
+Huffman tree is assumed CPU-cache resident and effectively free. This
+module makes that assumption real for the Python implementation:
+
+* :class:`PrefixDecodeTable` — a byte-at-a-time lookup table over a
+  :class:`~repro.coding.kraft.CanonicalCode`. The root table is indexed
+  by the leading ``TABLE_BITS`` bits of a bucket; codes longer than one
+  chunk chain through subtables. Frequent combination codes are short,
+  so almost every bucket decodes in a single list index.
+* :class:`BucketFastTables` — per-frequent-combination pack/unpack
+  plans: the codeword, its length, and the (LID, fingerprint-length,
+  mask) field layout, so packing/unpacking is pure shift/mask arithmetic
+  with no BitReader/BitWriter objects.
+
+Everything here is *derived* state, built once per codebook rebuild
+(i.e. once per LSM-tree geometry change) and bit-identical to the
+reference paths by construction — a property the test suite asserts
+exhaustively. The module-level :data:`FAST_PATH` switch lets those tests
+(and doubters) run the original code paths on the same data.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.coding.kraft import CanonicalCode
+
+#: Bits consumed by the first (root) decode-table lookup. Sixteen bits
+#: cover every frequent combination code of realistic geometries, so the
+#: common decode is exactly one list index. Capped by the code's max
+#: length so tiny codes get proportionally tiny roots.
+ROOT_BITS = 16
+#: Bits per lookup in the subtables that long (escape) codes chain
+#: through. Kept small: the chains exist only under the rare block, and
+#: 256-entry subtables stay cheap however many prefixes that block spans.
+SUB_BITS = 8
+_SUB_SIZE = 1 << SUB_BITS
+
+#: When True (the default) BucketCodec and CodecTables use the
+#: precomputed tables below; when False they fall back to the seed's
+#: reference implementations. Flip via :func:`legacy_codec` — it exists
+#: so the bit-identity property tests can run both paths on one build.
+FAST_PATH = True
+
+
+@contextmanager
+def legacy_codec() -> Iterator[None]:
+    """Run the enclosed block on the seed's reference codec paths."""
+    global FAST_PATH
+    previous = FAST_PATH
+    FAST_PATH = False
+    try:
+        yield
+    finally:
+        FAST_PATH = previous
+
+
+class PrefixDecodeTable:
+    """Byte-at-a-time decoder for a canonical prefix code.
+
+    Decoding semantics are identical to
+    :meth:`CanonicalCode.decode_prefix`: same (symbol, bits-consumed)
+    results, and ``ValueError`` on exactly the same non-matching inputs.
+
+    Terminal entries optionally carry a caller-supplied payload so a hot
+    path can fuse decode + payload lookup into the single table walk
+    (the bucket codec stores its per-combination unpack plan there).
+    """
+
+    __slots__ = ("_root", "_root_bits", "_root_mask", "max_length")
+
+    def __init__(self, code: CanonicalCode, payloads=None) -> None:
+        self.max_length = code.max_length
+        self._root_bits = min(ROOT_BITS, code.max_length)
+        self._root_mask = (1 << self._root_bits) - 1
+        get_payload = (payloads or {}).get
+        root: list = [None] * (1 << self._root_bits)
+        for sym, (codeword, length) in code.codewords().items():
+            entry = (length, sym, get_payload(sym))
+            self._insert(root, entry, codeword, length, self._root_bits)
+        self._root = root
+
+    @staticmethod
+    def _insert(
+        table: list, entry: tuple, codeword: int, rem_len: int, bits: int
+    ) -> None:
+        if rem_len <= bits:
+            # Terminal: every index sharing this prefix resolves to it.
+            base = codeword << (bits - rem_len)
+            for i in range(base, base + (1 << (bits - rem_len))):
+                table[i] = entry
+            return
+        prefix = codeword >> (rem_len - bits)
+        sub = table[prefix]
+        if not isinstance(sub, list):
+            # A prefix code can't have a terminal here: a shorter codeword
+            # that filled this index would be a prefix of this one.
+            sub = [None] * _SUB_SIZE
+            table[prefix] = sub
+        PrefixDecodeTable._insert(
+            sub,
+            entry,
+            codeword & ((1 << (rem_len - bits)) - 1),
+            rem_len - bits,
+            SUB_BITS,
+        )
+
+    def decode_entry(self, value: int, bit_length: int) -> tuple:
+        """The full terminal entry ``(length, symbol, payload)`` for the
+        codeword at the front of ``value`` (MSB-first, ``bit_length``
+        bits). Raises ``ValueError`` when nothing matches."""
+        table = self._root
+        bits = self._root_bits
+        mask = self._root_mask
+        consumed = 0
+        while True:
+            shift = bit_length - consumed - bits
+            if shift >= 0:
+                idx = (value >> shift) & mask
+            elif shift > -bits:
+                # Tail chunk shorter than the lookup width: zero-pad right.
+                idx = (value << -shift) & mask
+            else:
+                idx = 0
+            entry = table[idx]
+            if type(entry) is tuple:
+                if entry[0] > bit_length:
+                    break  # padding zeros matched a too-long codeword
+                return entry
+            if entry is None:
+                break
+            consumed += bits
+            table = entry
+            bits = SUB_BITS
+            mask = _SUB_SIZE - 1
+        raise ValueError(
+            f"no codeword matches the leading bits of {value:#x} ({bit_length} bits)"
+        )
+
+    def decode_prefix(self, value: int, bit_length: int):
+        """Decode the symbol at the front of ``value`` (MSB-first,
+        ``bit_length`` bits). Returns (symbol, bits consumed)."""
+        entry = self.decode_entry(value, bit_length)
+        return entry[1], entry[0]
+
+
+class BucketFastTables:
+    """Derived hot-path state for one codebook: the decode table plus
+    per-frequent-combination pack/unpack field plans."""
+
+    __slots__ = ("decode_table", "bucket_bits", "unpack_plans", "pack_plans")
+
+    def __init__(self, codebook) -> None:
+        self.bucket_bits = codebook.bucket_bits
+        # Per frequent combo: the exact field layout of its bucket, with
+        # *absolute* shifts — under FAC, code + fingerprints fill the
+        # bucket exactly, so every field's position is fixed.
+        # unpack: ((lid, shift, fp_mask), ...);
+        # pack: (codeword << c_FP, ((lid, shift, fp_len), ...)).
+        unpack_plans: dict = {}
+        pack_plans: dict = {}
+        if codebook.mode == "mf_fac":
+            for combo in codebook.frequent:
+                codeword, length = codebook.code.encode(combo)
+                rem = codebook.bucket_bits - length
+                base = codeword << rem
+                upk = []
+                pk = []
+                for lid in combo:
+                    flen = codebook.fp_length(lid)
+                    rem -= flen
+                    upk.append((lid, rem, (1 << flen) - 1))
+                    pk.append((lid, rem, flen))
+                unpack_plans[combo] = tuple(upk)
+                pack_plans[combo] = (base, tuple(pk))
+        else:
+            # Analysis-only modes have no exact-fill layout; keep only
+            # the frequent/rare distinction for the decode accounting.
+            for combo in codebook.frequent:
+                unpack_plans[combo] = True
+        self.unpack_plans = unpack_plans
+        self.pack_plans = pack_plans
+        # Frequent terminals carry their unpack plan (rare ones carry
+        # None — that *is* the rare test on the decode hot path, since
+        # only rare combinations lack an inline-fingerprint layout).
+        self.decode_table = PrefixDecodeTable(codebook.code, payloads=unpack_plans)

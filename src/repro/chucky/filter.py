@@ -46,6 +46,7 @@ from repro.obs.metrics import (
 )
 from repro.chucky.bucket import BucketCodec, Slot
 from repro.chucky.codebook import ChuckyCodebook
+from repro.chucky.slots import PackedBucketStore, SlotStore
 from repro.chucky.tables import CodecTables
 
 _PRIMARY_SEED = 4000
@@ -108,6 +109,10 @@ class CuckooLidFilterBase(ABC):
             memory_ios if memory_ios is not None else MemoryIOCounter()
         )
         self._rng = random.Random(seed)
+        #: ``64 - fp_length(lid)`` per LID (index ``lid - 1``): the shift
+        #: that slices a fingerprint out of the shared adjusted digest.
+        #: Subclasses fill this right after construction.
+        self._fp_shifts: list[int] = []
         #: Homeless entries: normalized bucket pair -> [(lid, fp), ...].
         self.aht: dict[tuple[int, int], list[Slot]] = {}
         self.num_entries = 0
@@ -143,9 +148,24 @@ class CuckooLidFilterBase(ABC):
     def fingerprint(self, key: int, lid: int) -> int:
         return fingerprint_bits(key, self._fp_length(lid), fp_min=self.fp_min)
 
+    def _adjusted_digest(self, key: int) -> int:
+        """The shared 64-bit digest every fingerprint length of ``key``
+        is sliced from (Malleable Fingerprinting). One hash here replaces
+        the per-slot :func:`fingerprint_bits` calls of the seed:
+        ``fingerprint(key, lid) == digest >> (64 - fp_length(lid))`` by
+        construction, so all derived values are bit-identical.
+        """
+        digest = key_digest(key, seed=1)
+        if digest >> (64 - self.fp_min) == 0:
+            digest |= 1 << (64 - self.fp_min)
+        return digest
+
     def bucket_pair(self, key: int) -> tuple[int, int]:
         """Both candidate buckets of a key (same for all its versions)."""
-        prefix = fingerprint_bits(key, self.fp_min, fp_min=self.fp_min)
+        return self._bucket_pair_from_digest(key, self._adjusted_digest(key))
+
+    def _bucket_pair_from_digest(self, key: int, digest: int) -> tuple[int, int]:
+        prefix = digest >> (64 - self.fp_min)
         b1 = primary_bucket(key, self.num_buckets)
         b2 = partner_bucket(b1, prefix, self.fp_min, self.num_buckets, self.fp_min)
         return b1, b2
@@ -180,9 +200,10 @@ class CuckooLidFilterBase(ABC):
     def insert(self, key: int, lid: int) -> None:
         """Map ``key`` to sub-level ``lid`` (one mapping per version)."""
         self._check_lid(lid)
-        fp = self.fingerprint(key, lid)
+        digest = self._adjusted_digest(key)
+        fp = digest >> self._fp_shifts[lid - 1]
         entry: Slot = (lid, fp)
-        b1, b2 = self.bucket_pair(key)
+        b1, b2 = self._bucket_pair_from_digest(key, digest)
         for bucket in dict.fromkeys((b1, b2)):
             slots = self._load(bucket)
             free = self._free_index(slots)
@@ -222,26 +243,65 @@ class CuckooLidFilterBase(ABC):
 
     def query(self, key: int) -> list[int]:
         """All sub-levels whose stored fingerprint matches ``key``, in
-        young-to-old order — the sub-levels a point read must search."""
-        b1, b2 = self.bucket_pair(key)
+        young-to-old order — the sub-levels a point read must search.
+
+        Hashes once: every per-LID fingerprint is the digest shifted by
+        the level's precomputed ``_fp_shifts`` entry, which is exactly
+        what :meth:`fingerprint` computes slot by slot.
+        """
+        digest = self._adjusted_digest(key)
+        b1, b2 = self._bucket_pair_from_digest(key, digest)
+        shifts = self._fp_shifts
+        empty_lid = self.empty_lid
         matches: set[int] = set()
         any_full = False
-        for bucket in dict.fromkeys((b1, b2)):
-            slots = self._load(bucket)
+        for bucket in (b1,) if b1 == b2 else (b1, b2):
             full = True
-            for lid, fp in slots:
-                if self._is_empty_slot((lid, fp)):
+            for lid, fp in self._load(bucket):
+                if fp == 0 and lid == empty_lid:
                     full = False
-                    continue
-                if fp == self.fingerprint(key, lid):
+                elif fp == digest >> shifts[lid - 1]:
                     matches.add(lid)
             any_full = any_full or full
         if any_full and self.aht:
             self.memory_ios.add("filter_aht", 1)
             for lid, fp in self.aht.get(self._pair_key(b1, b2), ()):
-                if fp == self.fingerprint(key, lid):
+                if fp == digest >> shifts[lid - 1]:
                     matches.add(lid)
         return sorted(matches)
+
+    def query_many(self, keys: list[int]) -> list[list[int]]:
+        """Batched :meth:`query`: same answers and the same counted
+        memory I/Os per key (two bucket loads, plus the AHT probe when a
+        touched bucket is full), with per-call dispatch amortized over
+        the batch."""
+        load = self._load
+        pair_from = self._bucket_pair_from_digest
+        adjust = self._adjusted_digest
+        shifts = self._fp_shifts
+        empty_lid = self.empty_lid
+        aht = self.aht
+        results: list[list[int]] = []
+        for key in keys:
+            digest = adjust(key)
+            b1, b2 = pair_from(key, digest)
+            matches: set[int] = set()
+            any_full = False
+            for bucket in (b1,) if b1 == b2 else (b1, b2):
+                full = True
+                for lid, fp in load(bucket):
+                    if fp == 0 and lid == empty_lid:
+                        full = False
+                    elif fp == digest >> shifts[lid - 1]:
+                        matches.add(lid)
+                any_full = any_full or full
+            if any_full and aht:
+                self.memory_ios.add("filter_aht", 1)
+                for lid, fp in aht.get(self._pair_key(b1, b2), ()):
+                    if fp == digest >> shifts[lid - 1]:
+                        matches.add(lid)
+            results.append(sorted(matches))
+        return results
 
     def update_lid(self, key: int, old_lid: int, new_lid: int) -> bool:
         """Move one mapping of ``key`` from ``old_lid`` to ``new_lid``
@@ -254,10 +314,10 @@ class CuckooLidFilterBase(ABC):
         if old_lid == new_lid:
             return True
         self._check_lid(new_lid)
-        old_fp = self.fingerprint(key, old_lid)
-        new_slot: Slot = (new_lid, self.fingerprint(key, new_lid))
-        old_slot: Slot = (old_lid, old_fp)
-        b1, b2 = self.bucket_pair(key)
+        digest = self._adjusted_digest(key)
+        new_slot: Slot = (new_lid, digest >> self._fp_shifts[new_lid - 1])
+        old_slot: Slot = (old_lid, digest >> self._fp_shifts[old_lid - 1])
+        b1, b2 = self._bucket_pair_from_digest(key, digest)
         for bucket in dict.fromkeys((b1, b2)):
             slots = self._load(bucket)
             if old_slot in slots:
@@ -272,8 +332,9 @@ class CuckooLidFilterBase(ABC):
     def remove(self, key: int, lid: int) -> bool:
         """Delete one mapping of ``key`` at ``lid`` (compaction discarded
         an obsolete version) — the operation Bloom filters cannot do."""
-        old_slot: Slot = (lid, self.fingerprint(key, lid))
-        b1, b2 = self.bucket_pair(key)
+        digest = self._adjusted_digest(key)
+        old_slot: Slot = (lid, digest >> self._fp_shifts[lid - 1])
+        b1, b2 = self._bucket_pair_from_digest(key, digest)
         for bucket in dict.fromkeys((b1, b2)):
             slots = self._load(bucket)
             if old_slot in slots:
@@ -393,7 +454,11 @@ class ChuckyFilter(CuckooLidFilterBase):
         self.codebook = codebook
         self.tables = CodecTables(codebook, self.memory_ios)
         self.codec = BucketCodec(codebook, self.tables)
-        self._buckets = [self.codec.empty_packed] * self.num_buckets
+        self._empty_packed = self.codec.empty_packed
+        self._buckets = PackedBucketStore(
+            self.num_buckets, codebook.bucket_bits, fill=self._empty_packed
+        )
+        self._fp_shifts = [64 - codebook.fp_length(lid) for lid in dist.lids]
         #: Fingerprints of rare-combination buckets (FAC escape codes).
         self.overflow: dict[int, list[int]] = {}
 
@@ -410,7 +475,14 @@ class ChuckyFilter(CuckooLidFilterBase):
         if overflow_fps is not None:
             # One extra memory I/O to fetch the spilled fingerprints.
             self.memory_ios.add("filter_ovf", 1)
-        return self.codec.unpack(self._buckets[index], overflow_fps)
+            return self.codec.unpack(self._buckets[index], overflow_fps)
+        packed = self._buckets[index]
+        if packed == self._empty_packed:
+            # Empty buckets decode to the all-empty slot list without
+            # touching the codec; the empty combination is frequent, so
+            # the reference decode counts nothing here either.
+            return [self.codec.empty_slot] * self.slots
+        return self.codec.unpack(packed, None)
 
     def _write_bucket(self, index: int, slots: list[Slot]) -> None:
         packed, overflow_fps = self.codec.pack(slots)
@@ -514,7 +586,11 @@ class ChuckyFilter(CuckooLidFilterBase):
         filt.codebook = codebook
         filt.tables = CodecTables(codebook, filt.memory_ios)
         filt.codec = BucketCodec(codebook, filt.tables)
-        filt._buckets = [reader.read(bucket_bits) for _ in range(num_buckets)]
+        filt._empty_packed = filt.codec.empty_packed
+        filt._buckets = PackedBucketStore(num_buckets, bucket_bits)
+        for i in range(num_buckets):
+            filt._buckets[i] = reader.read(bucket_bits)
+        filt._fp_shifts = [64 - codebook.fp_length(lid) for lid in dist.lids]
         filt.memory_ios.add("filter", num_buckets)
         filt.overflow = {}
         for _ in range(reader.read(32)):
@@ -561,9 +637,8 @@ class UncompressedLidFilter(CuckooLidFilterBase):
             seed=seed,
             metrics=metrics,
         )
-        self._buckets: list[list[Slot]] = [
-            [(self.empty_lid, 0)] * slots for _ in range(self.num_buckets)
-        ]
+        self._buckets = SlotStore(self.num_buckets, slots, self.empty_lid)
+        self._fp_shifts = [64 - self.fp_bits] * dist.num_sublevels
 
     def _fp_length(self, lid: int) -> int:
         return self.fp_bits
@@ -572,10 +647,10 @@ class UncompressedLidFilter(CuckooLidFilterBase):
         return self.dist.num_sublevels
 
     def _read_bucket(self, index: int) -> list[Slot]:
-        return list(self._buckets[index])
+        return self._buckets.read_bucket(index)
 
     def _write_bucket(self, index: int, slots: list[Slot]) -> None:
-        self._buckets[index] = list(slots)
+        self._buckets.write_bucket(index, slots)
 
     @property
     def size_bits(self) -> int:

@@ -239,6 +239,20 @@ class ChuckyPolicy(FilterPolicy):
         assert self.filter is not None
         yield from self.filter.query(key)
 
+    def candidates_many(
+        self, keys: list[int], occupied: list[tuple[int, Run]]
+    ) -> list[Iterator[int]]:
+        """Batched probe. Chucky's scalar query is already eager (one
+        two-bucket lookup answers every candidate), so answering the
+        whole batch up front is I/O-neutral and saves the per-key
+        dispatch overhead."""
+        assert self.filter is not None
+        query_many = getattr(self.filter, "query_many", None)
+        if query_many is None:
+            query = self.filter.query
+            return [iter(query(key)) for key in keys]
+        return [iter(lids) for lids in query_many(keys)]
+
     @property
     def size_bits(self) -> int:
         assert self.filter is not None

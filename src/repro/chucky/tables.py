@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.coding.distributions import Combination
 from repro.common.counters import MemoryIOCounter
+from repro.chucky import decode as _decode
 from repro.chucky.codebook import ChuckyCodebook
 
 #: Bytes per Decoding-Table entry (paper: "each DT entry is eight bytes").
@@ -54,13 +55,31 @@ class CodecTables:
 
         Frequent codes resolve through the cached Huffman tree (no
         memory I/O); rare codes cost one Decoding-Table access
-        (category ``filter_dt``).
+        (category ``filter_dt``). The byte-at-a-time table in
+        :mod:`repro.chucky.decode` plays the cached tree's role; the
+        accounting is identical either way.
         """
+        if _decode.FAST_PATH:
+            used, combo, plan = self.codebook.fast.decode_table.decode_entry(
+                packed, bit_length
+            )
+            # Only rare combinations lack an unpack plan, so ``plan is
+            # None`` is exactly ``not is_frequent(combo)``.
+            if plan is None:
+                self.dt_accesses += 1
+                self._memory_ios.add("filter_dt", 1)
+            return combo, used
         combo, used = self.codebook.code.decode_prefix(packed, bit_length)
         if not self.codebook.is_frequent(combo):
             self.dt_accesses += 1
             self._memory_ios.add("filter_dt", 1)
         return combo, used
+
+    def charge_rare_decode(self) -> None:
+        """Account one Decoding-Table access (used by the codec's fused
+        decode path, which learns rarity from the table entry itself)."""
+        self.dt_accesses += 1
+        self._memory_ios.add("filter_dt", 1)
 
     # -- recoding --------------------------------------------------------
 

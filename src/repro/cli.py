@@ -414,6 +414,7 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         policy=args.policy,
         bits_per_entry=args.bits,
+        repeat=args.repeat,
     )
     for row in report["cases"]:
         per_op = row["counted_per_op"]
@@ -430,6 +431,21 @@ def cmd_bench(args) -> int:
         print(f"cannot write {args.out}: {exc}", file=sys.stderr)
         return 1
     print(f"artifact written to {args.out}")
+    return 0
+
+
+def cmd_microbench(args) -> int:
+    from repro.workloads.micro import format_micro, run_micro, write_artifact
+
+    report = run_micro(inner=args.inner, rounds=args.rounds)
+    print(format_micro(report))
+    if args.out:
+        try:
+            write_artifact(report, args.out)
+        except OSError as exc:
+            print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"artifact written to {args.out}")
     return 0
 
 
@@ -920,9 +936,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--bits", "-m", type=float, default=10.0,
                          help="filter memory budget in bits per entry")
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="runs per case; wall metrics become medians "
+                              "(counted metrics are deterministic)")
     p_bench.add_argument("--out", metavar="FILE", default="BENCH_core.json",
                          help="benchmark artifact path")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_micro = sub.add_parser(
+        "microbench", help="time the hot-path operations (ns/op)"
+    )
+    p_micro.add_argument("--inner", type=int, default=256,
+                         help="calls per timing round")
+    p_micro.add_argument("--rounds", type=int, default=5,
+                         help="timing rounds (best round wins)")
+    p_micro.add_argument("--out", metavar="FILE", default=None,
+                         help="optional JSON artifact path")
+    p_micro.set_defaults(func=cmd_microbench)
 
     p_tune = sub.add_parser(
         "tune", help="replay a drift scenario with adaptive tuning"

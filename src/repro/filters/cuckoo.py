@@ -15,10 +15,16 @@ plain-cuckoo behaviors the property tests pin down.
 from __future__ import annotations
 
 import random
+from array import array
 
 from repro.common.counters import MemoryIOCounter
 from repro.common.errors import CapacityError
-from repro.common.hashing import alt_offset, fingerprint_bits, key_digest
+from repro.common.hashing import (
+    alt_offset,
+    fingerprint_bits,
+    key_digest,
+    splitmix64,
+)
 from repro.obs.metrics import (
     EVICTION_WALK_BUCKETS,
     NULL_REGISTRY,
@@ -27,6 +33,12 @@ from repro.obs.metrics import (
 
 _BUCKET_SEED = 3000
 _MAX_EVICTIONS = 500
+
+_MASK64 = (1 << 64) - 1
+# Pre-mixed seeds so the probe path can inline splitmix64:
+# key_digest(key, seed=s) == splitmix64((key & M) ^ splitmix64(s)).
+_FP_SEED_MIX = splitmix64(1)
+_BUCKET_SEED_MIX = splitmix64(_BUCKET_SEED)
 
 
 class CuckooFilter:
@@ -57,7 +69,13 @@ class CuckooFilter:
         wanted = max(1, -(-capacity // slots_per_bucket))
         wanted = max(2, round(wanted / 0.95))
         self._num_buckets = 1 << (wanted - 1).bit_length()
-        self._buckets: list[list[int]] = [[] for _ in range(self._num_buckets)]
+        # Flat slot storage: slot s of bucket b is ``_fps[b * S + s]``.
+        # Fingerprints are never 0 (their FP_MIN prefix is forced
+        # non-zero), so 0 is the free-slot sentinel. Occupied slots stay
+        # contiguous at the front of each bucket — removals compact —
+        # which reproduces the seed's list-of-lists slot order exactly,
+        # including the RNG-driven eviction walks.
+        self._fps = array("Q", [0]) * (self._num_buckets * slots_per_bucket)
         self._memory_ios = (
             memory_ios if memory_ios is not None else MemoryIOCounter()
         )
@@ -99,24 +117,24 @@ class CuckooFilter:
         fp = self._fingerprint(key)
         b1 = self._primary_bucket(key)
         b2 = self._alternate(b1, fp)
+        fps = self._fps
+        slots = self._slots
         for bucket in (b1, b2):
             self._memory_ios.add("filter", 1)
-            if len(self._buckets[bucket]) < self._slots:
-                self._buckets[bucket].append(fp)
+            if self._place(bucket, fp):
                 self.num_entries += 1
                 self._walk_hist.observe(0)
                 return
         # Both full: evict along a random walk.
         bucket = self._rng.choice((b1, b2))
         for step in range(1, _MAX_EVICTIONS + 1):
-            victim_slot = self._rng.randrange(self._slots)
-            victim_fp = self._buckets[bucket][victim_slot]
-            self._buckets[bucket][victim_slot] = fp
+            victim_slot = bucket * slots + self._rng.randrange(slots)
+            victim_fp = fps[victim_slot]
+            fps[victim_slot] = fp
             fp = victim_fp
             bucket = self._alternate(bucket, fp)
             self._memory_ios.add("filter", 1)
-            if len(self._buckets[bucket]) < self._slots:
-                self._buckets[bucket].append(fp)
+            if self._place(bucket, fp):
                 self.num_entries += 1
                 self._walk_hist.observe(step)
                 return
@@ -125,16 +143,66 @@ class CuckooFilter:
             f"cuckoo insertion failed at load factor {self.load_factor:.3f}"
         )
 
+    def _place(self, bucket: int, fp: int) -> bool:
+        """Put ``fp`` in the first free slot of ``bucket``; False if full."""
+        fps = self._fps
+        base = bucket * self._slots
+        for i in range(base, base + self._slots):
+            if fps[i] == 0:
+                fps[i] = fp
+                return True
+        return False
+
+    def _bucket_contains(self, bucket: int, fp: int) -> bool:
+        base = bucket * self._slots
+        return fp in self._fps[base : base + self._slots]
+
     def may_contain(self, key: int) -> bool:
-        """Membership test: at most two bucket reads (memory I/Os)."""
-        fp = self._fingerprint(key)
-        b1 = self._primary_bucket(key)
+        """Membership test: at most two bucket reads (memory I/Os).
+
+        The digest/offset hashing is splitmix64 inlined (same arithmetic
+        as :func:`key_digest` / :func:`alt_offset`, asserted identical by
+        the property tests) — the probe path is hot enough that the
+        function-call chains dominate its cost in pure Python.
+        """
+        M = _MASK64
+        if type(key) is int:
+            x = (((key & M) ^ _FP_SEED_MIX) + 0x9E3779B97F4A7C15) & M
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & M
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & M
+            x ^= x >> 31
+            y = (((key & M) ^ _BUCKET_SEED_MIX) + 0x9E3779B97F4A7C15) & M
+            y = ((y ^ (y >> 30)) * 0xBF58476D1CE4E5B9) & M
+            y = ((y ^ (y >> 27)) * 0x94D049BB133111EB) & M
+            y ^= y >> 31
+        else:
+            x = key_digest(key, seed=1)
+            y = key_digest(key, seed=_BUCKET_SEED)
+        # FP_MIN=5 non-zero forcing, as in fingerprint_bits().
+        if x >> 59 == 0:
+            x |= 1 << 59
+        fp = x >> (64 - self._fp_bits)
+        b1 = y & (self._num_buckets - 1)
+        fps = self._fps
+        S = self._slots
+        base = b1 * S
         self._memory_ios.add("filter", 1)
-        if fp in self._buckets[b1]:
+        if fp in fps[base : base + S]:
             return True
-        b2 = self._alternate(b1, fp)
+        # alt_offset(): splitmix64 of the FP_MIN prefix, forced non-zero.
+        z = (((x >> 59) ^ 0xC2B2AE3D27D4EB4F) + 0x9E3779B97F4A7C15) & M
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & M
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & M
+        z ^= z >> 31
+        base = (b1 ^ ((z & (self._num_buckets - 1)) or 1)) * S
         self._memory_ios.add("filter", 1)
-        return fp in self._buckets[b2]
+        return fp in fps[base : base + S]
+
+    def may_contain_many(self, keys: list[int]) -> list[bool]:
+        """Batched :meth:`may_contain` with identical counted I/Os
+        (short-circuits after the first bucket exactly like the scalar
+        path); saves only per-call dispatch."""
+        return [self.may_contain(key) for key in keys]
 
     def remove(self, key: int) -> bool:
         """Delete one copy of the key's fingerprint; True if found.
@@ -145,12 +213,19 @@ class CuckooFilter:
         fp = self._fingerprint(key)
         b1 = self._primary_bucket(key)
         b2 = self._alternate(b1, fp)
+        fps = self._fps
         for bucket in (b1, b2):
             self._memory_ios.add("filter", 1)
-            if fp in self._buckets[bucket]:
-                self._buckets[bucket].remove(fp)
-                self.num_entries -= 1
-                return True
+            base = bucket * self._slots
+            for i in range(base, base + self._slots):
+                if fps[i] == fp:
+                    # Compact: shift the occupied tail left one slot so
+                    # occupied slots stay contiguous (list.remove order).
+                    for j in range(i, base + self._slots - 1):
+                        fps[j] = fps[j + 1]
+                    fps[base + self._slots - 1] = 0
+                    self.num_entries -= 1
+                    return True
         return False
 
     def expected_fpp(self) -> float:

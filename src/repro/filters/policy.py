@@ -10,6 +10,7 @@ every candidate with a single two-bucket lookup.
 
 from __future__ import annotations
 
+import importlib.util
 from abc import ABC, abstractmethod
 from typing import Callable, Iterator
 
@@ -95,6 +96,21 @@ class FilterPolicy(ABC):
     ) -> Iterator[int]:
         """Yield sub-level numbers that may contain ``key``, youngest
         first. ``occupied`` is the tree's current (sublevel, run) list."""
+
+    def candidates_many(
+        self, keys: list[int], occupied: list[tuple[int, Run]]
+    ) -> list[Iterator[int]]:
+        """Per-key candidate iterators for a batch of point reads.
+
+        The default stays lazy *per key* — each iterator probes its
+        filters only as far as the caller consumes it, so a per-run
+        Bloom policy still pays nothing for filters past the first hit.
+        Policies whose scalar probe is already eager (Chucky answers
+        every candidate from one two-bucket lookup) override this to
+        amortize per-call setup across the batch; counted I/Os are
+        identical either way.
+        """
+        return [self.candidates(key, occupied) for key in keys]
 
     @property
     @abstractmethod
@@ -332,6 +348,14 @@ def _make_chucky_uncompressed(bits_per_entry: float) -> FilterPolicy:
     return ChuckyPolicy(bits_per_entry=bits_per_entry, compressed=False)
 
 
+def _make_vectorized(bits_per_entry: float) -> FilterPolicy:
+    # Imported lazily (and only registered when numpy resolves below):
+    # repro.filters.vectorized imports this module for BloomFilterPolicy.
+    from repro.filters.vectorized import VectorizedBloomPolicy
+
+    return VectorizedBloomPolicy(bits_per_entry)
+
+
 register_policy("chucky", _make_chucky)
 register_policy("chucky-uncompressed", _make_chucky_uncompressed)
 register_policy("bloom", lambda m: BloomFilterPolicy(m, "blocked", "optimal"))
@@ -341,3 +365,9 @@ register_policy("bloom-standard",
                 lambda m: BloomFilterPolicy(m, "standard", "uniform"))
 register_policy("xor", lambda m: XorFilterPolicy(m))
 register_policy("none", lambda m: NoFilterPolicy())
+
+# The numpy-backed policy exists only where numpy does; gating the
+# *registration* keeps ``--policy`` choices, EngineConfig validation and
+# the tuning planner's candidate space all consistent with one check.
+if importlib.util.find_spec("numpy") is not None:
+    register_policy("bloom-vectorized", _make_vectorized)

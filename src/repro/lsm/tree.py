@@ -208,6 +208,18 @@ class LSMTree:
                 return level.slots[offset]
         return None
 
+    def run_map(self) -> dict[int, Run | None]:
+        """Sub-level number -> run for every slot (None when empty): the
+        O(1)-lookup view batched point reads resolve filter candidates
+        against, instead of an O(levels) :meth:`run_at` search per
+        candidate. A snapshot — rebuild after any flush/merge."""
+        result: dict[int, Run | None] = {}
+        for level in self._levels:
+            base = self.config.sublevel_number(level.number, 1)
+            for offset, run in enumerate(level.slots):
+                result[base + offset] = run
+        return result
+
     @property
     def num_entries(self) -> int:
         return sum(run.num_entries for _, run in self.occupied_runs())

@@ -246,9 +246,12 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict:
     elapsed = time.perf_counter() - started
     total_ops = sum(len(v) for v in latencies.values())
     all_latencies = [x for v in latencies.values() for x in v]
+    from repro.workloads.bench import host_fingerprint
+
     summary = {
         "bench": "serve",
         "config": asdict(cfg),
+        "host": host_fingerprint(),
         "elapsed_s": elapsed,
         "total_ops": total_ops,
         "throughput_ops_per_s": total_ops / elapsed if elapsed > 0 else 0.0,

@@ -24,7 +24,8 @@ Two dampers keep the loop from thrashing:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
+import importlib.util
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 from repro.analysis.cost_models import (
@@ -70,7 +71,7 @@ def model_fpr(
         return fpr_cuckoo_integer_lids(
             bits_per_entry, num_levels, runs_per_level, runs_at_last_level
         )
-    if policy in ("bloom", "blocked-bloom"):
+    if policy in ("bloom", "blocked-bloom", "bloom-vectorized"):
         return fpr_bloom_optimal(
             bits_per_entry, size_ratio, runs_per_level, runs_at_last_level
         )
@@ -115,6 +116,20 @@ def filter_update_ios(
     )
 
 
+def default_policy_candidates() -> tuple[str, ...]:
+    """The planner's default filter-policy candidate space.
+
+    The vectorized Bloom backend joins only when numpy resolves (its
+    registry entry is gated the same way); it models identically to
+    ``bloom``, so its presence never changes which *family* wins — it
+    gives the executor a faster backend to migrate onto when Bloom wins.
+    """
+    base = ("chucky", "bloom", "bloom-standard")
+    if importlib.util.find_spec("numpy") is not None:
+        return base + ("bloom-vectorized",)
+    return base
+
+
 @dataclass(frozen=True)
 class PlannerConfig:
     """Planner thresholds and the candidate space it searches."""
@@ -124,7 +139,9 @@ class PlannerConfig:
     #: Windows to hold after an applied action.
     cooldown_windows: int = 2
     #: Filter-policy candidates (registry names).
-    policies: tuple[str, ...] = ("chucky", "bloom", "bloom-standard")
+    policies: tuple[str, ...] = field(
+        default_factory=lambda: default_policy_candidates()
+    )
     #: Extra bits/entry candidates beyond the current allocation.
     bits_options: tuple[float, ...] = ()
     #: Merge-policy candidates (keys of :data:`MERGE_PRESETS`).

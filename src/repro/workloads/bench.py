@@ -20,6 +20,9 @@ adaptive-vs-static (and any engine change) measurable over time.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import statistics
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -27,6 +30,45 @@ from typing import Any
 from repro.engine.config import EngineConfig, build_store
 from repro.obs.metrics import Histogram, WIRE_LATENCY_US_BUCKETS
 from repro.workloads.generators import request_stream
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Identify the machine a bench artifact was produced on.
+
+    Counted I/Os are machine-independent, but the wall-clock metrics in
+    the same artifact are not — ``repro benchdiff`` compares this
+    fingerprint and demotes wall-band violations to warnings when the
+    baseline came from different hardware.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+#: Wall-clock metrics of one case row, re-aggregated under ``--repeat``.
+_WALL_PERCENTILES = ("p50", "p95", "p99", "mean")
+
+
+def _median_wall(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold repeated runs of one case into a single row.
+
+    Counted quantities are deterministic — identical in every run, so
+    the first run's values stand. Wall-clock metrics are per-run noise;
+    the median across runs replaces them.
+    """
+    row = dict(rows[0])
+    row["wall_s"] = round(statistics.median(r["wall_s"] for r in rows), 4)
+    row["throughput_ops_per_s"] = round(
+        statistics.median(r["throughput_ops_per_s"] for r in rows), 1
+    )
+    row["wall_latency_us"] = {
+        name: statistics.median(r["wall_latency_us"][name] for r in rows)
+        for name in _WALL_PERCENTILES
+    }
+    return row
 
 #: The canonical case matrix: every workload kind over both presets.
 CANONICAL_CASES: tuple[tuple[str, str], ...] = tuple(
@@ -151,19 +193,31 @@ def run_bench(
     policy: str = "chucky",
     bits_per_entry: float = 10.0,
     cases: list[BenchCase] | None = None,
+    repeat: int = 1,
 ) -> dict[str, Any]:
-    """Run the suite; returns the full JSON-ready report."""
-    rows = [
-        run_case(
-            case,
-            ops=ops,
-            preload=preload,
-            seed=seed,
-            policy=policy,
-            bits_per_entry=bits_per_entry,
-        )
-        for case in (cases if cases is not None else default_cases())
-    ]
+    """Run the suite; returns the full JSON-ready report.
+
+    ``repeat`` runs every case that many times: counted metrics come
+    from the first run (they are deterministic and identical in all of
+    them), wall-clock metrics become medians across runs — the cheap
+    way to de-noise throughput numbers on a busy machine.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    rows = []
+    for case in cases if cases is not None else default_cases():
+        runs = [
+            run_case(
+                case,
+                ops=ops,
+                preload=preload,
+                seed=seed,
+                policy=policy,
+                bits_per_entry=bits_per_entry,
+            )
+            for _ in range(repeat)
+        ]
+        rows.append(runs[0] if repeat == 1 else _median_wall(runs))
     return {
         "suite": "core",
         "ops_per_case": ops,
@@ -171,6 +225,8 @@ def run_bench(
         "seed": seed,
         "policy": policy,
         "bits_per_entry": bits_per_entry,
+        "repeat": repeat,
+        "host": host_fingerprint(),
         "cases": rows,
     }
 

@@ -58,11 +58,17 @@ class Band:
 
         current > baseline * (1 + max_increase) + floor      (if set)
         current < baseline * (1 - max_decrease) - floor      (if set)
+
+    ``wall`` marks wall-clock metrics: meaningful only when baseline
+    and current ran on the same host. On a host-fingerprint mismatch
+    their violations demote to warnings (reported, never gating) —
+    counted bands stay strict everywhere.
     """
 
     max_increase: float | None = None
     max_decrease: float | None = None
     floor: float = 0.0
+    wall: bool = False
 
     def __post_init__(self) -> None:
         if self.max_increase is None and self.max_decrease is None:
@@ -103,19 +109,19 @@ CORE_BANDS: dict[str, Band] = {
     "modelled_ns_per_op": Band(0.05, 0.05, floor=5.0),
     "false_positives": Band(0.10, None, floor=3.0),
     # Wall-clock: generous, regression-direction only.
-    "throughput_ops_per_s": Band(None, 0.60),
-    "wall_latency_us.p50": Band(4.0, None, floor=50.0),
-    "wall_latency_us.p99": Band(4.0, None, floor=200.0),
+    "throughput_ops_per_s": Band(None, 0.60, wall=True),
+    "wall_latency_us.p50": Band(4.0, None, floor=50.0, wall=True),
+    "wall_latency_us.p99": Band(4.0, None, floor=200.0, wall=True),
 }
 
 #: Per-metric bands for the BENCH_serve.json summary.
 SERVE_BANDS: dict[str, Band] = {
-    "throughput_ops_per_s": Band(None, 0.60),
-    "latency_us.all.p50_us": Band(4.0, None, floor=200.0),
-    "latency_us.all.p99_us": Band(4.0, None, floor=1000.0),
-    "latency_us.read.p99_us": Band(4.0, None, floor=1000.0),
-    "latency_us.update.p99_us": Band(4.0, None, floor=1000.0),
-    # Correctness-flavored: any error is a gate failure.
+    "throughput_ops_per_s": Band(None, 0.60, wall=True),
+    "latency_us.all.p50_us": Band(4.0, None, floor=200.0, wall=True),
+    "latency_us.all.p99_us": Band(4.0, None, floor=1000.0, wall=True),
+    "latency_us.read.p99_us": Band(4.0, None, floor=1000.0, wall=True),
+    "latency_us.update.p99_us": Band(4.0, None, floor=1000.0, wall=True),
+    # Correctness-flavored: any error is a gate failure (never relaxed).
     "errors": Band(0.0, None, floor=0.0),
 }
 
@@ -168,11 +174,63 @@ def _diff_tree(
             "baseline": base,
             "current": cur,
             "problem": problem,
+            "wall": band.wall,
         }
         checks.append(entry)
         if problem is not None:
             violations.append(entry)
     return checks, violations
+
+
+def _host_mismatches(
+    baseline: dict[str, Any], current: dict[str, Any]
+) -> list[str]:
+    """Host-fingerprint differences between two artifacts.
+
+    Artifacts that both predate host fingerprints compare strictly (the
+    historical behavior); an artifact carrying one against an artifact
+    without one counts as a mismatch — provenance unknown.
+    """
+    base = baseline.get("host")
+    cur = current.get("host")
+    if base is None and cur is None:
+        return []
+    if base is None or cur is None:
+        return ["host: fingerprint missing from "
+                + ("baseline" if base is None else "current artifact")]
+    out = []
+    for key in sorted(set(base) | set(cur)):
+        if base.get(key) != cur.get(key):
+            out.append(
+                f"host.{key}: baseline={base.get(key)!r} "
+                f"current={cur.get(key)!r}"
+            )
+    return out
+
+
+def _relax_wall(
+    violations: list[dict[str, Any]], host_mismatches: list[str]
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """Demote wall-metric band violations to warnings on host mismatch.
+
+    Only actual band violations demote; a wall metric *missing* from an
+    artifact is still a schema break and stays gating, as does every
+    counted-metric violation.
+    """
+    if not host_mismatches:
+        return violations, []
+    hard: list[dict[str, Any]] = []
+    warnings: list[dict[str, Any]] = []
+    for entry in violations:
+        if (
+            entry.get("wall")
+            and entry["baseline"] is not None
+            and entry["current"] is not None
+        ):
+            warnings.append(entry)
+        else:
+            hard.append(entry)
+    return hard, warnings
 
 
 def _config_mismatches(
@@ -200,6 +258,7 @@ def diff_core(
     coverage must not silently shrink.
     """
     mismatches = _config_mismatches(baseline, current, CORE_CONFIG_KEYS)
+    host_mismatches = _host_mismatches(baseline, current)
     checks: list[dict[str, Any]] = []
     violations: list[dict[str, Any]] = []
     if not mismatches:
@@ -223,12 +282,15 @@ def diff_core(
             )
             checks.extend(case_checks)
             violations.extend(case_violations)
+    violations, warnings = _relax_wall(violations, host_mismatches)
     return {
         "artifact": "core",
         "ok": not mismatches and not violations,
         "config_mismatches": mismatches,
+        "host_mismatches": host_mismatches,
         "checks": checks,
         "violations": violations,
+        "warnings": warnings,
     }
 
 
@@ -240,18 +302,22 @@ def diff_serve(
         baseline.get("config", {}), current.get("config", {}),
         SERVE_CONFIG_KEYS,
     )
+    host_mismatches = _host_mismatches(baseline, current)
     checks: list[dict[str, Any]] = []
     violations: list[dict[str, Any]] = []
     if not mismatches:
         checks, violations = _diff_tree(
             baseline, current, SERVE_BANDS, "serve"
         )
+    violations, warnings = _relax_wall(violations, host_mismatches)
     return {
         "artifact": "serve",
         "ok": not mismatches and not violations,
         "config_mismatches": mismatches,
+        "host_mismatches": host_mismatches,
         "checks": checks,
         "violations": violations,
+        "warnings": warnings,
     }
 
 
@@ -268,11 +334,21 @@ def format_report(result: dict[str, Any]) -> str:
         for mismatch in result["config_mismatches"]:
             lines.append(f"    {mismatch}")
         return "\n".join(lines)
+    if result.get("host_mismatches"):
+        lines.append(
+            "  HOST MISMATCH — wall-clock bands relaxed to warnings:"
+        )
+        for mismatch in result["host_mismatches"]:
+            lines.append(f"    {mismatch}")
     n_checks = len(result["checks"])
     n_bad = len(result["violations"])
     for entry in result["violations"]:
         lines.append(
             f"  FAIL {entry['where']}: {entry['metric']} {entry['problem']}"
+        )
+    for entry in result.get("warnings", []):
+        lines.append(
+            f"  WARN {entry['where']}: {entry['metric']} {entry['problem']}"
         )
     if n_bad:
         lines.append(f"  {n_bad}/{n_checks} metrics out of band")

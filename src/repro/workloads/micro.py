@@ -1,0 +1,180 @@
+"""ns/op micro-suite for the probe/insert/decode hot path.
+
+Where ``repro bench`` measures whole-store behaviour (counted I/Os,
+modelled latency), this suite times the individual hot operations the
+PR-level refactors target — Chucky query/insert, bucket pack/unpack,
+prefix decode, cuckoo probe, Bloom batch ops — in plain Python
+``perf_counter_ns`` loops, best-of-N so scheduler noise mostly cancels.
+``repro microbench`` prints the table and can write it as a JSON
+artifact carrying the host fingerprint, making before/after comparisons
+honest about where they ran.
+
+Two cases are comparative and report a speedup alongside the ns/op:
+
+* ``decode_table`` vs ``decode_reference`` — the byte-at-a-time decode
+  table against the bit-serial tree walk it replaced (toggled via
+  :func:`repro.chucky.decode.legacy_codec`);
+* ``bloom_vectorized_*`` vs the scalar blocked-Bloom loop (only when
+  numpy resolves; the suite runs without it, just shorter).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Any, Callable
+
+from repro.chucky import decode as _decode
+from repro.chucky.bucket import BucketCodec
+from repro.chucky.codebook import ChuckyCodebook
+from repro.chucky.filter import ChuckyFilter
+from repro.chucky.tables import CodecTables
+from repro.coding.distributions import LidDistribution
+from repro.common.hashing import fingerprint_bits
+from repro.filters.blocked_bloom import BlockedBloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.workloads.bench import host_fingerprint
+
+DIST = LidDistribution(5, 6)
+
+
+def time_op(
+    op: Callable[[int], Any], inner: int = 256, rounds: int = 5
+) -> float:
+    """Best-of-``rounds`` mean ns per call of ``op`` over ``inner``
+    calls; ``op`` receives the loop index (use it to vary the key)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        for i in range(inner):
+            op(i)
+        elapsed = (time.perf_counter_ns() - start) / inner
+        best = min(best, elapsed)
+    return best
+
+
+def _loaded_chucky() -> tuple[ChuckyFilter, list[tuple[int, int]]]:
+    filt = ChuckyFilter(20000, DIST, bits_per_entry=10.0)
+    rng = random.Random(0)
+    probs = [float(p) for p in DIST.probabilities()]
+    pairs = [
+        (k, rng.choices(list(DIST.lids), weights=probs)[0])
+        for k in rng.sample(range(1 << 50), 15000)
+    ]
+    for k, lid in pairs:
+        filt.insert(k, lid)
+    return filt, pairs
+
+
+def _codec_fixture():
+    cb = ChuckyCodebook(DIST, slots=4, bucket_bits=40)
+    codec = BucketCodec(cb, CodecTables(cb))
+    slots = [
+        (6, fingerprint_bits(1, cb.fp_length(6))),
+        (6, fingerprint_bits(2, cb.fp_length(6))),
+        (4, fingerprint_bits(3, cb.fp_length(4))),
+        (cb.empty_lid, 0),
+    ]
+    packed, ovf = codec.pack(slots)
+    assert not ovf
+    return cb, codec, slots, packed
+
+
+def run_micro(inner: int = 256, rounds: int = 5) -> dict[str, Any]:
+    """Run the suite; returns the JSON-ready report."""
+    cases: list[dict[str, Any]] = []
+
+    def case(name: str, ns: float, **extra: Any) -> None:
+        cases.append({"name": name, "ns_per_op": round(ns, 1), **extra})
+
+    filt, pairs = _loaded_chucky()
+    keys = [k for k, _ in pairs[:512]]
+    case("chucky_query", time_op(
+        lambda i: filt.query(keys[i % 512]), inner, rounds))
+
+    fresh = ChuckyFilter(10**6, DIST, bits_per_entry=10.0)
+    counter = iter(range(10**9))
+    case("chucky_insert", time_op(
+        lambda i: fresh.insert(next(counter), 6), inner, rounds))
+
+    cb, codec, slots, packed = _codec_fixture()
+    case("bucket_pack", time_op(lambda i: codec.pack(slots), inner, rounds))
+    case("bucket_unpack", time_op(
+        lambda i: codec.unpack(packed, None), inner, rounds))
+
+    tables = CodecTables(cb)
+    bits = cb.bucket_bits
+    fast_ns = time_op(
+        lambda i: tables.decode_prefix(packed, bits), inner, rounds)
+    with _decode.legacy_codec():
+        ref_ns = time_op(
+            lambda i: tables.decode_prefix(packed, bits), inner, rounds)
+    case("decode_table", fast_ns,
+         reference_ns_per_op=round(ref_ns, 1),
+         speedup=round(ref_ns / fast_ns, 2) if fast_ns else None)
+
+    cuckoo = CuckooFilter(20000, fingerprint_bits=12)
+    for k in range(15000):
+        cuckoo.add(k)
+    case("cuckoo_query", time_op(
+        lambda i: cuckoo.may_contain(i), inner, rounds))
+
+    bloom = BlockedBloomFilter(20000, 10.0)
+    for k in range(15000):
+        bloom.add(k)
+    case("blocked_bloom_query", time_op(
+        lambda i: bloom.may_contain(i), inner, rounds))
+
+    from repro.filters.vectorized import (
+        NUMPY_AVAILABLE,
+        VectorizedBlockedBloomFilter,
+    )
+
+    if NUMPY_AVAILABLE:
+        batch = list(range(inner))
+        vec = VectorizedBlockedBloomFilter(20000, 10.0)
+        add_ns = time_op(lambda i: vec.add_many(batch), 4, rounds) / inner
+        scalar_add = time_op(
+            lambda i: BlockedBloomFilter(20000, 10.0).add(i), inner, rounds)
+        case("bloom_vectorized_add", add_ns,
+             scalar_ns_per_op=round(scalar_add, 1),
+             speedup=round(scalar_add / add_ns, 2) if add_ns else None)
+
+        probed = VectorizedBlockedBloomFilter(20000, 10.0)
+        probed.add_many(list(range(15000)))
+        probe_ns = time_op(
+            lambda i: probed.may_contain_many(batch), 4, rounds) / inner
+        scalar_probe = time_op(
+            lambda i: bloom.may_contain(i), inner, rounds)
+        case("bloom_vectorized_probe", probe_ns,
+             scalar_ns_per_op=round(scalar_probe, 1),
+             speedup=round(scalar_probe / probe_ns, 2) if probe_ns else None)
+
+    return {
+        "suite": "micro",
+        "inner": inner,
+        "rounds": rounds,
+        "numpy": NUMPY_AVAILABLE,
+        "host": host_fingerprint(),
+        "cases": cases,
+    }
+
+
+def format_micro(report: dict[str, Any]) -> str:
+    lines = [
+        f"microbench: best-of-{report['rounds']}, "
+        f"{report['inner']} calls/round"
+    ]
+    for row in report["cases"]:
+        line = f"  {row['name']:24s} {row['ns_per_op']:>10,.1f} ns/op"
+        if "speedup" in row and row["speedup"] is not None:
+            line += f"  ({row['speedup']:.2f}x vs scalar/reference)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def write_artifact(report: dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

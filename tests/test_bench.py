@@ -65,6 +65,40 @@ class TestBenchSuite:
         assert a["counted_per_op"] == b["counted_per_op"]
         assert a["false_positives"] == b["false_positives"]
 
+    def test_report_carries_host_fingerprint(self):
+        from repro.workloads.bench import host_fingerprint
+
+        report = run_bench(
+            ops=100, preload=50,
+            cases=[BenchCase(preset="leveled", workload="uniform")],
+        )
+        host = report["host"]
+        assert host == host_fingerprint()
+        assert set(host) == {
+            "platform", "machine", "python_version", "cpu_count",
+        }
+        assert host["cpu_count"] >= 1
+
+    def test_repeat_medians_wall_keeps_counted(self):
+        import pytest
+
+        report = run_bench(
+            ops=100, preload=50, repeat=3,
+            cases=[BenchCase(preset="leveled", workload="uniform")],
+        )
+        assert report["repeat"] == 3
+        row = report["cases"][0]
+        # Counted metrics are per-run deterministic, so the folded row
+        # still carries them; wall metrics survive as medians.
+        single = run_case(
+            BenchCase(preset="leveled", workload="uniform"),
+            ops=100, preload=50,
+        )
+        assert row["counted_per_op"] == single["counted_per_op"]
+        assert set(row["wall_latency_us"]) == {"p50", "p95", "p99", "mean"}
+        with pytest.raises(ValueError):
+            run_bench(ops=10, preload=5, repeat=0)
+
 
 class TestBenchCLI:
     def test_bench_command_writes_artifact(self, tmp_path, capsys):
@@ -106,3 +140,31 @@ class TestBenchCLI:
         assert rc == 0
         printed = capsys.readouterr().out
         assert "applied=0" in printed and "mode=static" in printed
+
+
+class TestMicrobench:
+    def test_micro_suite_reports_all_hot_ops(self):
+        from repro.workloads.micro import run_micro
+
+        report = run_micro(inner=8, rounds=1)
+        names = {row["name"] for row in report["cases"]}
+        assert {
+            "chucky_query", "chucky_insert", "bucket_pack",
+            "bucket_unpack", "decode_table", "cuckoo_query",
+            "blocked_bloom_query",
+        } <= names
+        assert all(row["ns_per_op"] > 0 for row in report["cases"])
+        decode = next(r for r in report["cases"] if r["name"] == "decode_table")
+        assert decode["reference_ns_per_op"] > 0
+        assert "host" in report
+
+    def test_microbench_command_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "micro.json"
+        rc = main(
+            ["microbench", "--inner", "8", "--rounds", "1",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        assert "ns/op" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["suite"] == "micro"

@@ -177,6 +177,92 @@ class TestDiffServe:
         assert result["config_mismatches"]
 
 
+class TestHostRelaxation:
+    """Wall-clock bands relax to warnings across hosts; counted bands
+    never do."""
+
+    @staticmethod
+    def _host(tag="a"):
+        return {
+            "platform": f"Linux-{tag}", "machine": "x86_64",
+            "python_version": "3.12.0", "cpu_count": 8,
+        }
+
+    def test_same_host_stays_strict(self):
+        base, cur = core_report(), core_report()
+        base["host"] = cur["host"] = self._host()
+        cur["cases"][0]["throughput_ops_per_s"] *= 0.2
+        result = diff_core(base, cur)
+        assert not result["ok"]
+        assert result["host_mismatches"] == []
+        assert result["warnings"] == []
+
+    def test_mismatched_host_demotes_wall_violation(self):
+        base, cur = core_report(), core_report()
+        base["host"] = self._host("a")
+        cur["host"] = self._host("b")
+        cur["cases"][0]["throughput_ops_per_s"] *= 0.2
+        result = diff_core(base, cur)
+        assert result["ok"]
+        assert result["violations"] == []
+        assert [w["metric"] for w in result["warnings"]] == [
+            "throughput_ops_per_s"
+        ]
+        report = format_report(result)
+        assert "HOST MISMATCH" in report and "WARN" in report
+
+    def test_missing_fingerprint_counts_as_mismatch(self):
+        base, cur = core_report(), core_report()  # neither carries host
+        cur["host"] = self._host()
+        cur["cases"][0]["wall_latency_us"]["p99"] *= 10.0
+        result = diff_core(base, cur)
+        assert result["ok"]
+        assert result["host_mismatches"]
+        assert result["warnings"]
+
+    def test_legacy_artifacts_without_hosts_stay_strict(self):
+        base, cur = core_report(), core_report()
+        cur["cases"][0]["throughput_ops_per_s"] *= 0.2
+        result = diff_core(base, cur)
+        assert not result["ok"]
+        assert result["host_mismatches"] == []
+
+    def test_counted_violation_never_demotes(self):
+        base, cur = core_report(), core_report()
+        base["host"] = self._host("a")
+        cur["host"] = self._host("b")
+        cur["cases"][0]["modelled_ns_per_op"] *= 2.0
+        result = diff_core(base, cur)
+        assert not result["ok"]
+        assert [v["metric"] for v in result["violations"]] == [
+            "modelled_ns_per_op"
+        ]
+
+    def test_serve_errors_never_demote(self):
+        base, cur = serve_summary(), serve_summary()
+        base["host"] = self._host("a")
+        cur["host"] = self._host("b")
+        cur["errors"] = 1
+        cur["latency_us"]["all"]["p99_us"] *= 20.0
+        result = diff_serve(base, cur)
+        assert not result["ok"]
+        assert [v["metric"] for v in result["violations"]] == ["errors"]
+        assert [w["metric"] for w in result["warnings"]] == [
+            "latency_us.all.p99_us"
+        ]
+
+    def test_missing_wall_metric_still_gates(self):
+        # A wall metric vanishing from the artifact is a schema break,
+        # not machine noise — host mismatch must not excuse it.
+        base, cur = core_report(), core_report()
+        base["host"] = self._host("a")
+        cur["host"] = self._host("b")
+        del cur["cases"][0]["throughput_ops_per_s"]
+        result = diff_core(base, cur)
+        assert not result["ok"]
+        assert "missing" in result["violations"][0]["problem"]
+
+
 class TestRealArtifacts:
     def test_gate_on_a_real_bench_run(self, tmp_path):
         """Full-stack: run the (tiny) real suite twice - self-diff must

@@ -1,0 +1,215 @@
+"""Fast-path vs legacy identity for the probe/insert/decode hot path.
+
+The table-driven decode, packed bucket storage, and batched dispatch
+are pure performance work: every counted I/O, membership answer, and
+serialized filter blob must stay bit-identical to the reference
+implementation they replaced. :func:`repro.chucky.decode.legacy_codec`
+flips the codec back to the bit-serial reference; these tests run the
+same deterministic workloads both ways and demand equality — at the
+codec level (hypothesis-generated buckets), the filter level
+(insert/query/update/remove/persist/recover), and the engine level
+(whole stores across presets and shard counts, including the
+crash/recovery faultcheck harness).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chucky import decode as chucky_decode
+from repro.chucky.bucket import BucketCodec
+from repro.chucky.codebook import ChuckyCodebook
+from repro.chucky.filter import ChuckyFilter
+from repro.chucky.tables import CodecTables
+from repro.coding.distributions import LidDistribution
+from repro.common.counters import MemoryIOCounter
+from repro.common.hashing import fingerprint_bits
+from repro.engine.config import EngineConfig, build_store
+
+DIST = LidDistribution(4, 5)
+
+
+def _random_slots(cb, rng):
+    slots = []
+    for _ in range(cb.slots):
+        if rng.random() < 0.25:
+            slots.append((cb.empty_lid, 0))
+        else:
+            lid = rng.choice(list(DIST.lids))
+            slots.append((lid, fingerprint_bits(rng.getrandbits(60), cb.fp_length(lid))))
+    return slots
+
+
+class TestCodecIdentity:
+    """pack/unpack/is_rare agree with the reference on every bucket."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_matches_reference(self, seed):
+        cb = ChuckyCodebook(DIST, slots=4, bucket_bits=36)
+        rng = random.Random(seed)
+        slots = _random_slots(cb, rng)
+
+        fast_counter = MemoryIOCounter()
+        codec = BucketCodec(cb, CodecTables(cb, memory_ios=fast_counter))
+        fast_packed, fast_ovf = codec.pack(slots)
+        fast_out = codec.unpack(fast_packed, fast_ovf)
+        fast_rare = codec.is_rare(fast_packed)
+
+        ref_counter = MemoryIOCounter()
+        ref = BucketCodec(cb, CodecTables(cb, memory_ios=ref_counter))
+        with chucky_decode.legacy_codec():
+            ref_packed, ref_ovf = ref.pack(slots)
+            assert (fast_packed, fast_ovf) == (ref_packed, ref_ovf)
+            assert fast_out == ref.unpack(ref_packed, ref_ovf)
+            assert fast_rare == ref.is_rare(ref_packed)
+        assert fast_counter.snapshot() == ref_counter.snapshot()
+
+
+def _filter_workload(seed: int, ops: int = 800):
+    """Drive one ChuckyFilter through a mixed op stream; return every
+    observable: answers, counted I/Os, and the persisted blob."""
+    counter = MemoryIOCounter()
+    filt = ChuckyFilter(2000, DIST, bits_per_entry=10.0, memory_ios=counter)
+    rng = random.Random(seed)
+    probs = [float(p) for p in DIST.probabilities()]
+    lids = list(DIST.lids)
+    live: list[tuple[int, int]] = []
+    answers = []
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.45 or not live:
+            key = rng.getrandbits(48)
+            lid = rng.choices(lids, weights=probs)[0]
+            filt.insert(key, lid)
+            live.append((key, lid))
+        elif roll < 0.70:
+            key, _ = live[rng.randrange(len(live))]
+            answers.append((key, filt.query(key)))
+        elif roll < 0.85:
+            answers.append((None, filt.query(rng.getrandbits(48))))
+        elif roll < 0.95:
+            idx = rng.randrange(len(live))
+            key, lid = live[idx]
+            new_lid = rng.choice(lids)
+            if filt.update_lid(key, lid, new_lid):
+                live[idx] = (key, new_lid)
+        else:
+            idx = rng.randrange(len(live))
+            key, lid = live.pop(idx)
+            filt.remove(key, lid)
+    return answers, counter.snapshot(), filt.persist()
+
+
+class TestFilterIdentity:
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_workload_observables_match_reference(self, seed):
+        fast = _filter_workload(seed)
+        with chucky_decode.legacy_codec():
+            ref = _filter_workload(seed)
+        assert fast[0] == ref[0], "membership answers diverged"
+        assert fast[1] == ref[1], "counted memory I/Os diverged"
+        assert fast[2] == ref[2], "persisted filter blob diverged"
+
+    def test_recover_matches_reference(self):
+        _, _, blob = _filter_workload(42)
+        fast = ChuckyFilter.recover(blob, DIST, bits_per_entry=10.0)
+        with chucky_decode.legacy_codec():
+            ref = ChuckyFilter.recover(blob, DIST, bits_per_entry=10.0)
+            rng = random.Random(9)
+            for _ in range(300):
+                key = rng.getrandbits(48)
+                assert fast.query(key) == ref.query(key)
+        assert fast.persist() == ref.persist() == blob
+
+
+def _store_workload(preset: str, shards: int, seed: int = 3):
+    config = getattr(EngineConfig, preset)(
+        size_ratio=4,
+        buffer_entries=32,
+        block_entries=8,
+        cache_blocks=32,
+        policy="chucky",
+        shards=shards,
+    )
+    store = build_store(config)
+    rng = random.Random(seed)
+    for key in range(150):
+        store.put(key, f"v{key}")
+    store.flush()
+    reads = []
+    for _ in range(400):
+        if rng.random() < 0.8:
+            key = rng.randrange(300)  # half the probes miss
+            reads.append((key, store.get(key)))
+        else:
+            key = rng.randrange(300)
+            store.put(key, f"u{key}")
+    batch = [rng.randrange(300) for _ in range(64)]
+    reads.append(("batch", store.get_batch(batch)))
+    store.flush()
+    snap = store.snapshot()
+    if shards > 1:
+        snap = snap.aggregate
+    return reads, snap.as_dict()
+
+
+class TestEngineIdentity:
+    @pytest.mark.parametrize(
+        "preset,shards",
+        [("leveled", 1), ("tiered", 1), ("lazy_leveled", 1), ("leveled", 4)],
+    )
+    def test_store_observables_match_reference(self, preset, shards):
+        fast = _store_workload(preset, shards)
+        with chucky_decode.legacy_codec():
+            ref = _store_workload(preset, shards)
+        assert fast[0] == ref[0], "read results diverged"
+        assert fast[1] == ref[1], "counted I/O snapshot diverged"
+
+
+class TestCrashRecoveryIdentity:
+    def test_faultcheck_matches_reference(self):
+        """The crash/recovery campaign sees identical worlds both ways
+        — same schedules explored, same violations (none)."""
+        from repro.faults.harness import FaultcheckConfig, run_faultcheck
+
+        cfg = FaultcheckConfig(
+            seeds=3, ops=30, schedules_per_seed=2, transient_rate=0.0
+        )
+        fast = run_faultcheck(cfg)
+        with chucky_decode.legacy_codec():
+            ref = run_faultcheck(cfg)
+        assert fast.ok and ref.ok
+        assert fast.as_dict() == ref.as_dict()
+
+
+class TestDecodeSpeedup:
+    def test_table_decode_at_least_2x_reference(self):
+        """The acceptance bar: byte-at-a-time decode must beat the
+        bit-serial reference by >= 2x on the hot prefix-decode path."""
+        import time
+
+        cb = ChuckyCodebook(DIST, slots=4, bucket_bits=36)
+        tables = CodecTables(cb)
+        codec = BucketCodec(cb, tables)
+        rng = random.Random(5)
+        packed = [codec.pack(_random_slots(cb, rng))[0] for _ in range(64)]
+        bits = cb.bucket_bits
+
+        def best_ns(rounds=7, inner=2000):
+            best = float("inf")
+            for _ in range(rounds):
+                start = time.perf_counter_ns()
+                for i in range(inner):
+                    tables.decode_prefix(packed[i % 64], bits)
+                best = min(best, time.perf_counter_ns() - start)
+            return best
+
+        fast_ns = best_ns()
+        with chucky_decode.legacy_codec():
+            ref_ns = best_ns()
+        assert ref_ns / fast_ns >= 2.0, (
+            f"decode speedup {ref_ns / fast_ns:.2f}x < 2x"
+        )

@@ -1,0 +1,124 @@
+"""The numpy blocked-Bloom backend: membership, counted I/Os, and
+registry/planner gating.
+
+Everything here asserts equivalence with the scalar
+:class:`~repro.filters.blocked_bloom.BlockedBloomFilter` — the
+vectorized backend is a faster engine for the *same* filter, so any
+divergence in answers, sizing, or accounting is a bug, not a tradeoff.
+The whole module skips when numpy is absent; the gating tests also
+assert the registry and planner leave ``bloom-vectorized`` out in that
+world (exercised for real by the no-numpy CI leg).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.common.counters import MemoryIOCounter
+from repro.filters.blocked_bloom import BlockedBloomFilter
+from repro.filters.policy import available_policies, make_policy
+from repro.filters.vectorized import (
+    NUMPY_AVAILABLE,
+    VectorizedBlockedBloomFilter,
+    VectorizedBloomPolicy,
+)
+from repro.tuning.planner import default_policy_candidates
+
+
+def _pair(n=2000, bpe=10.0):
+    scalar = BlockedBloomFilter(n, bpe)
+    vector = VectorizedBlockedBloomFilter(n, bpe)
+    return scalar, vector
+
+
+class TestMembershipIdentity:
+    @pytest.mark.parametrize("bpe", [4.0, 10.0, 16.5])
+    def test_answers_match_scalar(self, bpe):
+        scalar, vector = _pair(bpe=bpe)
+        keys = [k * 2654435761 % (1 << 50) for k in range(1500)]
+        for k in keys:
+            scalar.add(k)
+        vector.add_many(keys)
+        probes = keys[:200] + [(1 << 50) + k for k in range(800)]
+        expect = [scalar.may_contain(k) for k in probes]
+        assert vector.may_contain_many(probes) == expect
+        # Scalar-at-a-time surface agrees with the batch surface.
+        assert [vector.may_contain(k) for k in probes[:50]] == expect[:50]
+
+    def test_sizing_matches_scalar(self):
+        scalar, vector = _pair()
+        assert vector.size_bits == scalar.size_bits
+        assert vector.num_hashes == scalar.num_hashes
+        scalar.add(1)
+        vector.add(1)
+        assert vector.expected_fpp() == scalar.expected_fpp()
+
+    def test_counted_ios_match_scalar(self):
+        s_counter, v_counter = MemoryIOCounter(), MemoryIOCounter()
+        scalar = BlockedBloomFilter(500, 10.0, memory_ios=s_counter)
+        vector = VectorizedBlockedBloomFilter(500, 10.0, memory_ios=v_counter)
+        keys = list(range(300))
+        for k in keys:
+            scalar.add(k)
+        vector.add_many(keys)
+        for k in range(100):
+            scalar.may_contain(k)
+        vector.may_contain_many(list(range(100)))
+        assert v_counter.snapshot() == s_counter.snapshot()
+
+    def test_empty_batches_are_noops(self):
+        counter = MemoryIOCounter()
+        vector = VectorizedBlockedBloomFilter(100, 10.0, memory_ios=counter)
+        vector.add_many([])
+        assert vector.may_contain_many([]) == []
+        assert counter.total == 0
+
+
+class TestPolicyEquivalence:
+    def test_store_observables_match_blocked_bloom(self):
+        """Whole stores on the two backends see identical worlds:
+        values, counted I/Os, false positives, and filter size."""
+        import random
+
+        from repro.engine.config import EngineConfig, build_store
+
+        def run(policy):
+            config = EngineConfig.leveled(
+                size_ratio=4, buffer_entries=32, block_entries=8,
+                cache_blocks=32, policy=policy,
+            )
+            store = build_store(config)
+            rng = random.Random(11)
+            for key in range(200):
+                store.put(key, f"v{key}")
+            store.flush()
+            reads = [store.get(rng.randrange(400)) for _ in range(500)]
+            return reads, store.snapshot().as_dict(), store.policy.size_bits
+
+        scalar = run("blocked-bloom")
+        vector = run("bloom-vectorized")
+        assert vector[0] == scalar[0]
+        assert vector[1] == scalar[1]
+        assert vector[2] == scalar[2]
+
+    def test_make_policy_builds_vectorized(self):
+        assert isinstance(
+            make_policy("bloom-vectorized", bits_per_entry=10.0),
+            VectorizedBloomPolicy,
+        )
+
+
+class TestGating:
+    def test_registry_offers_vectorized_with_numpy(self):
+        assert NUMPY_AVAILABLE
+        assert "bloom-vectorized" in available_policies()
+
+    def test_planner_candidates_include_vectorized(self):
+        assert "bloom-vectorized" in default_policy_candidates()
+
+    def test_construction_guard_message(self, monkeypatch):
+        import repro.filters.vectorized as vec
+
+        monkeypatch.setattr(vec, "NUMPY_AVAILABLE", False)
+        with pytest.raises(RuntimeError, match="requires numpy"):
+            VectorizedBlockedBloomFilter(100, 10.0)
