@@ -41,6 +41,7 @@ class BucketCodec:
         self._bucket_bits = codebook.bucket_bits
         self._decode_entry = self._fast.decode_table.decode_entry
         self._pack_plan = self._fast.pack_plans.get
+        self._pack_fn = self._fast.pack_fns.get
         self.empty_slot: Slot = (codebook.empty_lid, 0)
         self._empty_packed, _ = self.pack([self.empty_slot] * codebook.slots)
 
@@ -66,21 +67,18 @@ class BucketCodec:
         ordered = sorted(slots)
         combo: Combination = tuple([lid for lid, _ in ordered])
         if _decode.FAST_PATH:
-            plan = self._pack_plan(combo)
-            if plan is None:
+            fn = self._pack_fn(combo)
+            if fn is None:
                 # Rare combination: the escape code fills the bucket and
                 # the fingerprints spill (counts one filter_rt access,
                 # exactly like the reference path).
                 code, length = self.tables.encode(combo)
                 return code, [fp for _, fp in ordered]
-            base, fields = plan
-            for (lid, shift, flen), (_, fp) in zip(fields, ordered):
-                if fp >> flen:
-                    raise FilterError(
-                        f"fingerprint {fp:#x} wider than {flen} bits for LID {lid}"
-                    )
-                base |= fp << shift
-            return base, None
+            # Frequent combination: the compiled per-combination pack
+            # function is one straight-line OR expression with a single
+            # fused fingerprint-width guard (byte-identical FilterError
+            # to the reference loop when it fires).
+            return fn(ordered), None
         code, length = self.tables.encode(combo)
         if length == self.codebook.bucket_bits:
             return code, [fp for _, fp in ordered]

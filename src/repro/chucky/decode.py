@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.coding.kraft import CanonicalCode
+from repro.common.errors import FilterError
 
 #: Bits consumed by the first (root) decode-table lookup. Sixteen bits
 #: cover every frequent combination code of realistic geometries, so the
@@ -150,11 +151,63 @@ class PrefixDecodeTable:
         return entry[1], entry[0]
 
 
+def _pack_overflow(fields, ordered):
+    """Raise the reference path's FilterError for an overflowing slot.
+
+    The specialized pack functions guard all fingerprints with one
+    combined check; only when it fires do we pay this per-slot walk to
+    identify the offender and produce the byte-identical message."""
+    for (lid, _shift, flen), (_, fp) in zip(fields, ordered):
+        if fp >> flen:
+            raise FilterError(
+                f"fingerprint {fp:#x} wider than {flen} bits for LID {lid}"
+            )
+    raise FilterError(  # pragma: no cover - guard implies an offender
+        "combined overflow guard fired with no overflowing fingerprint"
+    )
+
+
+def _compile_pack(base, fields):
+    """Build a specialized pack function for one frequent combination.
+
+    ``fields`` is the ``((lid, shift, fp_len), ...)`` plan with absolute
+    shifts (FAC exact fill). The generated function takes the LID-sorted
+    ``[(lid, fp), ...]`` slot list and returns the packed bucket as one
+    straight-line OR expression — no loop, no per-slot branch; all
+    fingerprint-width checks fuse into a single combined guard that
+    falls back to :func:`_pack_overflow` for the reference error."""
+    n = len(fields)
+    loads = "".join(f"    fp{i} = ordered[{i}][1]\n" for i in range(n))
+    guard = (
+        " | ".join(f"(fp{i} >> {flen})" for i, (_, _, flen) in enumerate(fields))
+        or "0"
+    )
+    terms = [str(base)]
+    for i, (_lid, shift, _flen) in enumerate(fields):
+        terms.append(f"(fp{i} << {shift})" if shift else f"fp{i}")
+    source = (
+        "def _pack(ordered):\n"
+        f"{loads}"
+        f"    if {guard}:\n"
+        "        _overflow(_fields, ordered)\n"
+        f"    return {' | '.join(terms)}\n"
+    )
+    namespace = {"_overflow": _pack_overflow, "_fields": fields}
+    exec(source, namespace)
+    return namespace["_pack"]
+
+
 class BucketFastTables:
     """Derived hot-path state for one codebook: the decode table plus
     per-frequent-combination pack/unpack field plans."""
 
-    __slots__ = ("decode_table", "bucket_bits", "unpack_plans", "pack_plans")
+    __slots__ = (
+        "decode_table",
+        "bucket_bits",
+        "unpack_plans",
+        "pack_plans",
+        "pack_fns",
+    )
 
     def __init__(self, codebook) -> None:
         self.bucket_bits = codebook.bucket_bits
@@ -165,6 +218,7 @@ class BucketFastTables:
         # pack: (codeword << c_FP, ((lid, shift, fp_len), ...)).
         unpack_plans: dict = {}
         pack_plans: dict = {}
+        pack_fns: dict = {}
         if codebook.mode == "mf_fac":
             for combo in codebook.frequent:
                 codeword, length = codebook.code.encode(combo)
@@ -178,7 +232,12 @@ class BucketFastTables:
                     upk.append((lid, rem, (1 << flen) - 1))
                     pk.append((lid, rem, flen))
                 unpack_plans[combo] = tuple(upk)
-                pack_plans[combo] = (base, tuple(pk))
+                fields = tuple(pk)
+                pack_plans[combo] = (base, fields)
+                # Insert-path specialization: one compiled straight-line
+                # pack function per frequent combination, with the
+                # per-slot width checks fused into a single guard.
+                pack_fns[combo] = _compile_pack(base, fields)
         else:
             # Analysis-only modes have no exact-fill layout; keep only
             # the frequent/rare distinction for the decode accounting.
@@ -186,6 +245,7 @@ class BucketFastTables:
                 unpack_plans[combo] = True
         self.unpack_plans = unpack_plans
         self.pack_plans = pack_plans
+        self.pack_fns = pack_fns
         # Frequent terminals carry their unpack plan (rare ones carry
         # None — that *is* the rare test on the decode hot path, since
         # only rare combinations lack an inline-fingerprint layout).

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Thirteen commands for poking at the system without writing code:
+Fifteen commands for poking at the system without writing code:
 
 * ``info``      — package, geometry and codebook overview
 * ``fpr``       — model + measured FPR comparison for one geometry
@@ -30,7 +30,15 @@ Thirteen commands for poking at the system without writing code:
 * ``loadgen``   — drive a running server closed-loop over N
   connections and write the ``BENCH_serve.json`` latency artifact
   (``--trace-every N`` head-samples requests into the wire trace
-  header; ``--traces-out`` writes the combined span trees)
+  header; ``--traces-out`` writes the combined span trees;
+  ``--cluster spec.json`` instead drives a replicated cluster with
+  acked-write verification — optionally killing a node mid-run with
+  ``--kill auto`` — and writes ``BENCH_cluster.json``)
+* ``cluster``   — spawn a replicated multi-node cluster as worker
+  subprocesses (WAL shipping, leader failover, live shard handoff)
+  rendezvousing on a JSON spec file; ``--worker`` runs one node
+* ``rebalance`` — drive a live shard handoff to another node through
+  the current leader (reads the cluster spec file to route)
 * ``dash``      — live terminal dashboard over a running server's
   STATS payload: counters, telemetry sparklines, SLO burn rates
 * ``benchdiff`` — regression gate: diff fresh BENCH artifacts against
@@ -39,7 +47,9 @@ Thirteen commands for poking at the system without writing code:
 * ``faultcheck``— explore seeded crash schedules (torn WAL tails,
   partial run writes, crashes at every registered commit point) and
   verify the recovery invariants after each one; exits non-zero on
-  any violation
+  any violation (``--cluster`` runs the replicated-cluster campaign
+  instead: node kills mid-replication / mid-handoff / mid-promotion,
+  gating on "acked ⇒ durable" across the failover)
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ import os
 import random
 import signal
 import sys
+import time
 
 from repro import __version__
 from repro.analysis.fpr_models import (
@@ -665,7 +676,75 @@ def cmd_serve(args) -> int:
         return 0
 
 
+def _cluster_loadgen(args) -> int:
+    from repro.cluster.launcher import read_spec
+    from repro.cluster.loadgen import (
+        ClusterLoadgenConfig,
+        run_cluster_loadgen,
+    )
+    from repro.server import write_artifact
+
+    try:
+        spec = read_spec(args.cluster)
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"cannot load cluster spec {args.cluster}: {exc}",
+              file=sys.stderr)
+        return 2
+    cfg = ClusterLoadgenConfig(
+        connections=args.connections,
+        ops=args.ops,
+        workload=args.workload,
+        key_space=args.key_space,
+        read_fraction=args.read_fraction,
+        theta=args.theta,
+        value_size=args.value_size,
+        seed=args.seed,
+        preload=not args.no_preload,
+        kill=args.kill,
+        kill_after_fraction=args.kill_after,
+    )
+    try:
+        summary = asyncio.run(run_cluster_loadgen(cfg, spec))
+    except (ConnectionRefusedError, OSError) as exc:
+        print(f"cannot reach the cluster: {exc}", file=sys.stderr)
+        return 1
+    killed = summary["killed"]
+    print(
+        f"{summary['total_ops']} ops over {cfg.connections} connections "
+        f"in {summary['elapsed_s']:.2f}s "
+        f"({summary['throughput_ops_per_s']:,.0f} ops/s, "
+        f"{summary['errors']} errors"
+        + (f", killed {killed}" if killed else "")
+        + f", {summary['failovers']} failovers, "
+        f"epoch {summary['final_epoch']})"
+    )
+    for op in ("read", "update"):
+        stats = summary["latency_us"][op]
+        if stats["count"]:
+            print(
+                f"  {op:6s}: n={stats['count']} p50={stats['p50_us']:.0f}us "
+                f"p95={stats['p95_us']:.0f}us p99={stats['p99_us']:.0f}us"
+            )
+    print(
+        f"  verified {summary['acked_writes']} acked writes: "
+        f"{summary['lost_acked']} lost"
+        + (f" (keys {summary['lost_keys']})" if summary["lost_acked"] else "")
+    )
+    out = args.out
+    if out == "BENCH_serve.json":
+        out = "BENCH_cluster.json"
+    try:
+        write_artifact(summary, out)
+    except OSError as exc:
+        print(f"cannot write {out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"artifact written to {out}")
+    return 1 if summary["lost_acked"] else 0
+
+
 def cmd_loadgen(args) -> int:
+    if args.cluster:
+        return _cluster_loadgen(args)
     from repro.server import (
         LoadgenConfig,
         pop_traces,
@@ -735,6 +814,103 @@ def cmd_loadgen(args) -> int:
     return 1 if summary["errors"] else 0
 
 
+def cmd_cluster(args) -> int:
+    from repro.cluster.launcher import (
+        ClusterLauncher,
+        read_spec,
+        run_worker,
+    )
+    from repro.cluster.node import ClusterError
+
+    if args.worker:
+        if not args.name:
+            print("--worker requires --name", file=sys.stderr)
+            return 2
+        try:
+            spec = read_spec(args.spec)
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            print(f"cannot load cluster spec {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            return asyncio.run(run_worker(args.name, spec))
+        except KeyboardInterrupt:  # pragma: no cover — signal race
+            return 0
+    try:
+        launcher = ClusterLauncher(
+            nodes=args.nodes,
+            num_shards=args.shards,
+            replication=args.replication,
+            host=args.host,
+            port_base=args.port_base,
+            spec_path=args.spec,
+            commit_batch=args.commit_batch,
+        )
+    except ClusterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    launcher.spawn()
+    try:
+        asyncio.run(launcher.wait_ready())
+    except ClusterError as exc:
+        print(f"cluster failed to start: {exc}", file=sys.stderr)
+        launcher.shutdown()
+        return 1
+    print(
+        f"repro cluster: {len(launcher.names)} nodes up "
+        f"({args.shards} shards, replication {args.replication}) — "
+        f"spec written to {args.spec}; Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        while any(p.poll() is None for p in launcher.procs.values()):
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass  # children get the same SIGINT and drain on their own
+    codes = launcher.shutdown()
+    print(
+        "repro cluster: stopped ("
+        + ", ".join(f"{n}={c}" for n, c in sorted(codes.items()))
+        + ")"
+    )
+    return 0
+
+
+def cmd_rebalance(args) -> int:
+    from repro.cluster import ClusterCoordinator
+    from repro.cluster.launcher import read_spec
+    from repro.cluster.node import ClusterError
+
+    try:
+        spec = read_spec(args.cluster)
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"cannot load cluster spec {args.cluster}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    async def _run() -> int:
+        coordinator = ClusterCoordinator(spec.addresses())
+        try:
+            await coordinator.refresh_map()
+            before = coordinator.map
+            source = before.leader_of(args.shard)
+            new_map = await coordinator.rebalance(args.shard, args.target)
+            print(
+                f"shard {args.shard}: {source} -> "
+                f"{new_map.leader_of(args.shard)} "
+                f"(epoch {before.epoch} -> {new_map.epoch})"
+            )
+            return 0
+        finally:
+            await coordinator.close()
+
+    try:
+        return asyncio.run(_run())
+    except (ClusterError, OSError, ConnectionError) as exc:
+        print(f"rebalance failed: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_dash(args) -> int:
     from repro.obs.dash import run_dash
 
@@ -756,6 +932,7 @@ def cmd_dash(args) -> int:
 
 def cmd_benchdiff(args) -> int:
     from repro.workloads.benchdiff import (
+        diff_cluster,
         diff_core,
         diff_serve,
         format_report,
@@ -767,8 +944,13 @@ def cmd_benchdiff(args) -> int:
         pairs.append(("core", args.core, args.core_baseline, diff_core))
     if args.serve:
         pairs.append(("serve", args.serve, args.serve_baseline, diff_serve))
+    if args.cluster:
+        pairs.append(
+            ("cluster", args.cluster, args.cluster_baseline, diff_cluster)
+        )
     if not pairs:
-        print("nothing to diff: pass --core and/or --serve", file=sys.stderr)
+        print("nothing to diff: pass --core, --serve and/or --cluster",
+              file=sys.stderr)
         return 2
     ok = True
     for name, current_path, baseline_path, differ in pairs:
@@ -785,6 +967,33 @@ def cmd_benchdiff(args) -> int:
 
 
 def cmd_faultcheck(args) -> int:
+    if args.cluster:
+        from repro.cluster.faultcheck import (
+            ClusterFaultcheckConfig,
+            run_cluster_faultcheck,
+        )
+
+        cfg = ClusterFaultcheckConfig(seeds=args.seeds)
+        print(
+            f"cluster-faultcheck: {cfg.seeds} seeds over "
+            f"{cfg.nodes} nodes / {cfg.num_shards} shards "
+            "(kills mid-replication, mid-handoff, mid-promotion)",
+            flush=True,
+        )
+        report = run_cluster_faultcheck(cfg)
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}", file=sys.stderr)
+        if args.report:
+            try:
+                with open(args.report, "w", encoding="utf-8") as fh:
+                    json.dump(report.as_dict(), fh, indent=2, default=repr)
+                    fh.write("\n")
+            except OSError as exc:
+                print(f"cannot write {args.report}: {exc}", file=sys.stderr)
+                return 1
+            print(f"schedule report written to {args.report}")
+        return 0 if report.ok else 1
     from repro.faults.harness import FaultcheckConfig, run_faultcheck
 
     cfg = FaultcheckConfig(
@@ -1010,7 +1219,53 @@ def build_parser() -> argparse.ArgumentParser:
                            "(client-side spans only)")
     p_lg.add_argument("--traces-out", metavar="FILE", default=None,
                       help="write combined client+server span trees here")
+    p_lg.add_argument("--cluster", metavar="SPEC", default=None,
+                      help="drive a replicated cluster (spec JSON from "
+                           "`repro cluster`) with acked-write "
+                           "verification; writes BENCH_cluster.json")
+    p_lg.add_argument("--kill", metavar="NODE", default="",
+                      help="cluster mode: SIGKILL this node mid-run "
+                           "('auto' = leader of shard 0)")
+    p_lg.add_argument("--kill-after", type=float, default=0.5,
+                      help="cluster mode: fire the kill after this "
+                           "fraction of ops (default 0.5)")
     p_lg.set_defaults(func=cmd_loadgen)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="spawn a replicated multi-node cluster (worker subprocesses)",
+    )
+    p_cluster.add_argument("--nodes", type=int, default=3)
+    p_cluster.add_argument("--shards", type=int, default=6,
+                           help="global shard count (immutable for the "
+                                "cluster's lifetime)")
+    p_cluster.add_argument("--replication", type=int, default=2,
+                           help="replicas per shard (leader + followers)")
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument("--port-base", type=int, default=7651,
+                           help="node i listens on port-base + i")
+    p_cluster.add_argument("--spec", metavar="FILE", default="cluster.json",
+                           help="cluster spec file (the rendezvous point "
+                                "for workers, loadgen and rebalance)")
+    p_cluster.add_argument("--commit-batch", type=int, default=64,
+                           help="group-commit batch size per node")
+    p_cluster.add_argument("--worker", action="store_true",
+                           help="run one node in-process (spawned by the "
+                                "launcher; needs --name)")
+    p_cluster.add_argument("--name", default="",
+                           help="worker mode: this node's name in the spec")
+    p_cluster.set_defaults(func=cmd_cluster)
+
+    p_rb = sub.add_parser(
+        "rebalance",
+        help="live-handoff a shard to another node via its leader",
+    )
+    p_rb.add_argument("--cluster", metavar="SPEC", default="cluster.json",
+                      help="cluster spec file")
+    p_rb.add_argument("--shard", type=int, required=True)
+    p_rb.add_argument("--target", required=True,
+                      help="node name that should lead the shard")
+    p_rb.set_defaults(func=cmd_rebalance)
 
     p_dash = sub.add_parser(
         "dash", help="live terminal dashboard over a running server"
@@ -1038,6 +1293,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fresh BENCH_serve.json to check")
     p_bd.add_argument("--serve-baseline", metavar="FILE",
                       default="benchmarks/baselines/BENCH_serve.json")
+    p_bd.add_argument("--cluster", metavar="FILE", default=None,
+                      help="fresh BENCH_cluster.json to check")
+    p_bd.add_argument("--cluster-baseline", metavar="FILE",
+                      default="benchmarks/baselines/BENCH_cluster.json")
     p_bd.set_defaults(func=cmd_benchdiff)
 
     p_fc = sub.add_parser(
@@ -1068,6 +1327,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "schedule")
     p_fc.add_argument("--report", metavar="FILE", default=None,
                       help="write the full schedule report as JSON")
+    p_fc.add_argument("--cluster", action="store_true",
+                      help="run the replicated-cluster kill campaign "
+                           "instead (node kills mid-replication / "
+                           "mid-handoff / mid-promotion)")
     p_fc.set_defaults(func=cmd_faultcheck)
     return parser
 

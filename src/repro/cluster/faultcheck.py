@@ -1,0 +1,523 @@
+"""The cluster crash campaign: kill nodes at the worst moments, then
+prove no acknowledged write was lost.
+
+Each seed runs one schedule against a real 3-node loopback cluster
+(actual sockets, actual frames — the same code paths production runs):
+
+1. a seeded workload of puts/deletes (str *and* non-UTF-8 bytes
+   values) is driven through a :class:`ClusterCoordinator` and every
+   acknowledged operation recorded in a reference model;
+2. the fault injector is armed at one of the ``cluster.*`` crash
+   points (rotating point and occurrence with the seed) and the
+   schedule provokes it — more writes for the ``replicate`` points, a
+   live rebalance for the ``handoff`` points, a leader kill plus
+   failover for the ``promote`` points. Whatever operation the crash
+   interrupts is *unacknowledged* (its keys join the in-flight
+   ``touched`` set, allowed before-or-after);
+3. the victim node is killed for real — its server closes, its commit
+   task dies, its in-memory state is never consulted again (exactly a
+   process kill, since all surviving state lives in other nodes);
+4. the coordinator fails over and the checker reads **every key the
+   model ever touched** back through the surviving cluster:
+   :meth:`InvariantChecker.check_acked_reads` demands each
+   acknowledged write durable with its exact value and each
+   acknowledged delete still dead — "acked ⇒ durable" across node
+   kills.
+
+Crashes raised by the injector surface on the victim as ERROR
+responses (a request must never kill the server's *loop*), which the
+campaign treats as the moment of death; the arbiter is deactivated
+immediately after so survivors run healthy. Deterministic in
+(config, seed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.node import ClusterError, ClusterNode
+from repro.cluster.shardmap import even_map
+from repro.engine.config import EngineConfig
+from repro.faults import crashpoints
+from repro.faults.injector import CRASH_AT_POINT, FaultInjector, FaultPlan
+from repro.faults.invariants import ABSENT, InvariantChecker
+
+#: The schedule rotation: which cluster crash point a seed provokes.
+CLUSTER_POINTS = (
+    "cluster.replicate.before_send",
+    "cluster.replicate.before_ack",
+    "cluster.handoff.before_snapshot",
+    "cluster.handoff.mid_stream",
+    "cluster.handoff.before_commit",
+    "cluster.handoff.after_commit",
+    "cluster.promote.before_adopt",
+    "cluster.promote.after_adopt",
+)
+
+_KEY_SPACE = 64
+
+
+@dataclass(frozen=True)
+class ClusterFaultcheckConfig:
+    """Knobs of one cluster crash campaign."""
+
+    seeds: int = 50
+    nodes: int = 3
+    num_shards: int = 6
+    replication: int = 2
+    writes_before: int = 40
+    writes_during: int = 30
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError(f"seeds must be >= 1, got {self.seeds}")
+        if self.nodes < 2:
+            raise ValueError("a cluster campaign needs >= 2 nodes")
+
+    def engine_config(self) -> EngineConfig:
+        """Tiny per-shard geometry: a few dozen ops must cross flushes
+        and WAL batch records on every node."""
+        return EngineConfig.leveled(
+            size_ratio=3,
+            buffer_entries=8,
+            block_entries=4,
+            cache_blocks=8,
+            durable=True,
+            shards=1,
+        )
+
+
+@dataclass
+class ClusterScheduleResult:
+    """Verdict of one schedule."""
+
+    seed: int
+    point: str
+    occurrence: int
+    crashed: bool
+    victim: str = ""
+    acked_writes: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "point": self.point,
+            "occurrence": self.occurrence,
+            "crashed": self.crashed,
+            "victim": self.victim,
+            "acked_writes": self.acked_writes,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ClusterFaultcheckReport:
+    """Aggregate campaign outcome — the CI gate artifact."""
+
+    seeds: int
+    nodes: int
+    num_shards: int
+    results: list[ClusterScheduleResult] = field(default_factory=list)
+    crashes_injected: int = 0
+    failovers: int = 0
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"seed {r.seed} [{r.point}#{r.occurrence}]: {v}"
+            for r in self.results
+            for v in r.violations
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seeds": self.seeds,
+            "nodes": self.nodes,
+            "num_shards": self.num_shards,
+            "schedules_run": len(self.results),
+            "crashes_injected": self.crashes_injected,
+            "failovers": self.failovers,
+            "ok": self.ok,
+            "violations": self.violations,
+            "results": [r.as_dict() for r in self.results],
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"cluster-faultcheck {status}: seeds={self.seeds} "
+            f"nodes={self.nodes} shards={self.num_shards} "
+            f"schedules={len(self.results)} "
+            f"crashes={self.crashes_injected} failovers={self.failovers}"
+        )
+
+
+# ----------------------------------------------------------------------
+# One live loopback cluster
+# ----------------------------------------------------------------------
+
+class _LiveCluster:
+    """A real multi-node cluster inside one event loop."""
+
+    def __init__(self, cfg: ClusterFaultcheckConfig) -> None:
+        self.cfg = cfg
+        self.names = [f"n{i}" for i in range(cfg.nodes)]
+        self.map = even_map(
+            self.names, cfg.num_shards, replication=cfg.replication
+        )
+        econf = cfg.engine_config()
+        self.nodes = {
+            name: ClusterNode(name, self.map, econf) for name in self.names
+        }
+        self.servers: dict[str, asyncio.Server] = {}
+        self.addrs: dict[str, tuple[str, int]] = {}
+        self.killed: set[str] = set()
+
+    async def start(self) -> ClusterCoordinator:
+        for name, node in self.nodes.items():
+            server = await asyncio.start_server(
+                node.server._on_connect, "127.0.0.1", 0
+            )
+            self.servers[name] = server
+            self.addrs[name] = (
+                "127.0.0.1", server.sockets[0].getsockname()[1]
+            )
+        for name, node in self.nodes.items():
+            node.peers = {
+                other: addr
+                for other, addr in self.addrs.items()
+                if other != name
+            }
+            node.server.commit.start()
+        coordinator = ClusterCoordinator(dict(self.addrs))
+        await coordinator.refresh_map()
+        return coordinator
+
+    async def kill(self, name: str) -> None:
+        """Process death: stop serving, stop the commit task, sever
+        peer links. The node's state is never consulted again."""
+        if name in self.killed:
+            return
+        self.killed.add(name)
+        server = self.servers[name]
+        server.close()
+        await server.wait_closed()
+        node = self.nodes[name]
+        task = node.server.commit._task
+        if task is not None:
+            task.cancel()
+        # Closing the listener is not enough: established connections
+        # keep serving, so survivors would happily talk to the corpse.
+        # Abort every open transport so peers see a connection reset.
+        for conn in list(node.server._connections):
+            conn.closed = True
+            transport = conn.writer.transport
+            if transport is not None:
+                transport.abort()
+        # Let connection_lost callbacks run so the per-connection serve
+        # tasks unwind before the schedule's loop is torn down.
+        await asyncio.sleep(0.01)
+        await node.close_peers()
+
+    async def stop(self) -> None:
+        for name in self.names:
+            if name in self.killed:
+                continue
+            server = self.servers.get(name)
+            if server is not None:
+                server.close()
+            try:
+                await self.nodes[name].server.commit.close()
+            except Exception:  # noqa: BLE001 — teardown only
+                pass
+            await self.nodes[name].close_peers()
+        # Abort lingering connections so their serve tasks unwind before
+        # the loop is torn down (else asyncio logs cancelled-task noise).
+        for name in self.names:
+            if name in self.killed:
+                continue
+            for conn in list(self.nodes[name].server._connections):
+                conn.closed = True
+                transport = conn.writer.transport
+                if transport is not None:
+                    transport.abort()
+        await asyncio.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# One schedule
+# ----------------------------------------------------------------------
+
+def _shard_keys(shard_id: int, num_shards: int, count: int, start: int = 0):
+    """The first ``count`` keys >= start hashing to ``shard_id``."""
+    from repro.engine.sharded import shard_of
+
+    found = []
+    key = start
+    while len(found) < count:
+        if shard_of(key, num_shards) == shard_id:
+            found.append(key)
+        key += 1
+    return found
+
+
+def _value_for(rng: random.Random, seed: int, key: int) -> bytes:
+    """Wire PUT values are UTF-8 strings by protocol contract (bytes
+    fidelity through replication is the follower bit-identity test's
+    job, at the WAL-record layer); non-ASCII code points keep the
+    encode/decode path honest."""
+    if rng.random() < 0.3:
+        return f"π{seed}·{key}·{rng.randrange(1000)}µ".encode("utf-8")
+    return f"s{seed}-{key}-{rng.randrange(1000)}".encode("utf-8")
+
+
+async def _seeded_writes(
+    coordinator: ClusterCoordinator,
+    model: dict[int, Any],
+    rng: random.Random,
+    seed: int,
+    count: int,
+    keys: list[int] | None = None,
+) -> None:
+    """Acked ops enter the model; the caller ensures no crash is armed."""
+    for i in range(count):
+        key = keys[i % len(keys)] if keys else rng.randrange(_KEY_SPACE)
+        if model.get(key) is not None and rng.random() < 0.15:
+            await coordinator.delete(key)
+            model[key] = ABSENT
+        else:
+            value = _value_for(rng, seed, key)
+            await coordinator.put(key, value)
+            model[key] = value
+
+
+async def _run_schedule(
+    cfg: ClusterFaultcheckConfig, seed: int
+) -> ClusterScheduleResult:
+    point = CLUSTER_POINTS[seed % len(CLUSTER_POINTS)]
+    cycle = seed // len(CLUSTER_POINTS)
+    # Occurrence schedules must be reachable: a promotion broadcast
+    # touches at most the two survivors of a 3-node cluster, so its
+    # points cap at occurrence 2; handoff points fire once per
+    # migration, so later occurrences shuttle the shard through that
+    # many migrations before the crash lands.
+    if point.startswith("cluster.promote."):
+        occurrence = 1 + cycle % 2
+    else:
+        occurrence = 1 + cycle % 3
+    result = ClusterScheduleResult(
+        seed=seed, point=point, occurrence=occurrence, crashed=False
+    )
+    rng = random.Random(f"cluster-faultcheck:{seed}")
+    cluster = _LiveCluster(cfg)
+    coordinator = await cluster.start()
+    plan = FaultPlan(
+        seed=seed,
+        crash_kind=CRASH_AT_POINT,
+        crash_point_name=point,
+        crash_occurrence=occurrence,
+        transient_rate=0.0,
+    )
+    injector = FaultInjector(plan)
+    try:
+        # Phase 1: healthy acked traffic.
+        model: dict[int, Any] = {}
+        await _seeded_writes(
+            coordinator, model, rng, seed, cfg.writes_before
+        )
+        # Phase 2: provoke the armed crash point. Every op acked inside
+        # the window still joins the model; the op the crash interrupts
+        # joins `touched` (before-or-after).
+        touched: dict[int, Any] = {}
+        victim = ""
+        if point.startswith("cluster.replicate."):
+            victim, crashed = await _provoke_replicate(
+                cluster, coordinator, model, touched, rng, seed,
+                injector, cfg,
+            )
+        elif point.startswith("cluster.handoff."):
+            victim, crashed = await _provoke_handoff(
+                cluster, coordinator, injector, rng, occurrence
+            )
+        else:
+            victim, crashed = await _provoke_promote(
+                cluster, coordinator, injector, rng
+            )
+        result.crashed = crashed
+        result.victim = victim
+        if not crashed:
+            result.violations.append(
+                f"[harness] scheduled crash never fired at {point}"
+                f"#{occurrence}"
+            )
+            return result
+        # Phase 3: the victim dies for real; the cluster must carry on.
+        if victim and victim not in cluster.killed:
+            await cluster.kill(victim)
+        # Phase 4: read every touched key back through the survivors.
+        checker = InvariantChecker()
+        expectations: dict[int, tuple[Any, ...]] = {}
+        for key, value in model.items():
+            expectations[key] = (value,)
+        for key, new_value in touched.items():
+            old = expectations.get(key, (ABSENT,))
+            expectations[key] = tuple(dict.fromkeys((*old, new_value)))
+        result.acked_writes = len(model)
+        actuals: dict[int, Any] = {}
+        for key in expectations:
+            try:
+                actuals[key] = await coordinator.get(key)
+            except ClusterError as exc:
+                result.violations.append(
+                    f"[acked-durable] key {key}: post-failover read "
+                    f"failed: {exc}"
+                )
+        result.violations.extend(
+            str(v)
+            for v in checker.check_acked_reads(actuals, expectations)
+        )
+        # Writes must still flow after the kill.
+        try:
+            probe = rng.randrange(_KEY_SPACE)
+            await coordinator.put(probe, f"post-{seed}")
+            got = await coordinator.get(probe)
+            if got != f"post-{seed}".encode("utf-8"):
+                result.violations.append(
+                    f"[post-failover] probe write read back {got!r}"
+                )
+        except ClusterError as exc:
+            result.violations.append(
+                f"[post-failover] probe write failed: {exc}"
+            )
+        return result
+    finally:
+        await coordinator.close()
+        await cluster.stop()
+
+
+async def _provoke_replicate(
+    cluster: _LiveCluster,
+    coordinator: ClusterCoordinator,
+    model: dict[int, Any],
+    touched: dict[int, Any],
+    rng: random.Random,
+    seed: int,
+    injector: FaultInjector,
+    cfg: ClusterFaultcheckConfig,
+) -> tuple[str, bool]:
+    """Crash a leader mid-replication: arm the point, then hammer one
+    chosen shard until the leader's ship path fires it."""
+    shard_id = rng.randrange(cfg.num_shards)
+    victim = coordinator.map.leader_of(shard_id)
+    keys = _shard_keys(shard_id, cfg.num_shards, 8)
+    crashed = False
+    with crashpoints.activated(injector):
+        for i in range(cfg.writes_during):
+            key = keys[i % len(keys)]
+            value = _value_for(rng, seed, key)
+            try:
+                await coordinator.put(key, value)
+            except ClusterError:
+                # The interrupted write was never acked: before-or-after.
+                touched[key] = value
+                crashed = injector.crashed
+                break
+            model[key] = value
+    return victim, crashed
+
+
+async def _provoke_handoff(
+    cluster: _LiveCluster,
+    coordinator: ClusterCoordinator,
+    injector: FaultInjector,
+    rng: random.Random,
+    occurrence: int,
+) -> tuple[str, bool]:
+    """Crash a live handoff on the source leader. No writes are in
+    flight, so the model is exact; whether the map flip landed decides
+    who serves the shard afterwards — either answer must read clean.
+
+    Each migration passes every handoff point once, so occurrence N
+    shuttles the shard through N migrations; the crash lands on the
+    last one's source leader."""
+    shard_id = rng.randrange(coordinator.map.num_shards)
+    victim = ""
+    crashed = False
+    with crashpoints.activated(injector):
+        for _ in range(occurrence):
+            await coordinator.refresh_map()
+            victim = coordinator.map.leader_of(shard_id)
+            others = [
+                n
+                for n in cluster.names
+                if n != victim and n not in cluster.killed
+            ]
+            target = others[rng.randrange(len(others))]
+            try:
+                await coordinator.rebalance(shard_id, target)
+            except ClusterError:
+                crashed = injector.crashed
+                break
+            if injector.crashed:
+                # after_commit fires outside the request's error path:
+                # the rebalance RPC may have succeeded while the
+                # injector still crashed the source.
+                crashed = True
+                break
+    if not crashed:
+        crashed = injector.crashed
+    return victim, crashed
+
+
+async def _provoke_promote(
+    cluster: _LiveCluster,
+    coordinator: ClusterCoordinator,
+    injector: FaultInjector,
+    rng: random.Random,
+) -> tuple[str, bool]:
+    """Kill a leader cold, then crash the *promotion* on the winner.
+    The retried failover must converge (map adoption is idempotent
+    forward: same-epoch identical maps are accepted)."""
+    first = cluster.names[rng.randrange(len(cluster.names))]
+    await cluster.kill(first)
+    crashed = False
+    with crashpoints.activated(injector):
+        try:
+            await coordinator.failover(first)
+        except ClusterError:
+            crashed = injector.crashed
+    if not crashed:
+        crashed = injector.crashed
+    # The winner survived (only its promotion RPC crashed); the
+    # campaign's "victim" is the cold-killed leader, already dead.
+    await coordinator.failover(first)
+    return first, crashed
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+
+def run_cluster_faultcheck(
+    cfg: ClusterFaultcheckConfig,
+) -> ClusterFaultcheckReport:
+    """Run the whole campaign. Deterministic in ``cfg``."""
+    report = ClusterFaultcheckReport(
+        seeds=cfg.seeds, nodes=cfg.nodes, num_shards=cfg.num_shards
+    )
+    for seed in range(cfg.seeds):
+        result = asyncio.run(_run_schedule(cfg, seed))
+        report.results.append(result)
+        if result.crashed:
+            report.crashes_injected += 1
+        report.failovers += 1 if result.victim else 0
+    return report

@@ -1,0 +1,183 @@
+"""Closed-loop load generation against a live cluster, with acked-write
+verification — the CI ``cluster-smoke`` gate.
+
+The crucial difference from :mod:`repro.server.loadgen`: every
+acknowledged write lands in a client-side reference model, and after
+the run (including an optional **mid-run leader kill**) a verification
+pass reads every modelled key back through the coordinator. A key that
+reads anything but its last acked value counts as ``lost_acked`` — the
+number the CI job gates on being exactly zero.
+
+To keep the model exact under concurrency, each connection writes only
+keys of its own residue class (``key % connections == index``); reads
+roam the whole key space. Acked-but-racing writes to one key from two
+connections would otherwise make "last acked value" ill-defined.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.launcher import ClusterSpec
+from repro.cluster.node import ClusterError
+from repro.server.loadgen import _summarize_op
+from repro.workloads.bench import host_fingerprint
+from repro.workloads.generators import request_stream
+
+
+@dataclass
+class ClusterLoadgenConfig:
+    """One verified cluster load-generation run, as plain data."""
+
+    connections: int = 4
+    ops: int = 2000
+    workload: str = "ycsb-b"  # uniform | zipf | ycsb-b
+    key_space: int = 1000
+    read_fraction: float = 0.8
+    theta: float = 0.99
+    value_size: int = 16
+    seed: int = 0
+    preload: bool = True
+    #: "" = no kill; a node name; or "auto" (leader of shard 0 at the
+    #: moment the kill triggers).
+    kill: str = ""
+    #: Fire the kill when this fraction of total ops has completed.
+    kill_after_fraction: float = 0.5
+    #: Read mode for the verification pass (leader = read-your-writes).
+    verify_read_mode: str = "leader"
+
+
+def kill_via_spec(spec: ClusterSpec, name: str) -> None:
+    """SIGKILL a worker by the pid recorded in the spec file."""
+    pid = spec.pid_of(name)
+    if not pid:
+        raise ClusterError(f"spec has no pid for node {name!r}")
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass  # already gone — the point stands
+
+
+async def run_cluster_loadgen(
+    cfg: ClusterLoadgenConfig,
+    spec: ClusterSpec,
+    kill_fn=None,
+) -> dict:
+    """Drive the cluster, optionally kill a node mid-run, verify.
+
+    ``kill_fn(name)`` overrides the kill mechanism (the in-process
+    harness passes its own; the CLI kills the spec-recorded pid).
+    """
+    coordinator = ClusterCoordinator(spec.addresses())
+    await coordinator.refresh_map()
+    model: dict[int, bytes] = {}
+    latencies: dict[str, list[float]] = {"read": [], "update": []}
+    errors = {"read": 0, "update": 0}
+    state = {"done": 0, "killed": ""}
+    kill_at = (
+        int(cfg.ops * cfg.kill_after_fraction) if cfg.kill else cfg.ops + 1
+    )
+
+    if cfg.preload:
+        # Sequential, so the model is trivially exact.
+        for key in range(cfg.key_space):
+            value = f"pre-{key}".encode()
+            await coordinator.put(key, value.decode())
+            model[key] = value
+
+    async def _maybe_kill() -> None:
+        if state["killed"] or state["done"] < kill_at:
+            return
+        victim = cfg.kill
+        if victim == "auto":
+            victim = coordinator.map.leader_of(0)
+        state["killed"] = victim
+        (kill_fn or (lambda name: kill_via_spec(spec, name)))(victim)
+
+    async def _worker(index: int, ops: int) -> None:
+        stream = request_stream(
+            cfg.workload,
+            list(range(cfg.key_space)),
+            ops,
+            read_fraction=cfg.read_fraction,
+            theta=cfg.theta,
+            seed=cfg.seed * 1_000_003 + index,
+        )
+        for i, (op, key) in enumerate(stream):
+            await _maybe_kill()
+            start = time.perf_counter_ns()
+            try:
+                if op == "read":
+                    await coordinator.get(key)
+                else:
+                    # Own residue class: last acked value stays exact.
+                    key = key - key % cfg.connections + index
+                    if key >= cfg.key_space:
+                        key -= cfg.connections
+                    value = f"c{index}-{i}-" + "y" * max(
+                        0, cfg.value_size - 8
+                    )
+                    await coordinator.put(key, value)
+                    model[key] = value.encode()
+            except (ClusterError, OSError, ConnectionError):
+                errors[op] += 1
+            latencies[op].append((time.perf_counter_ns() - start) / 1_000)
+            state["done"] += 1
+
+    per = cfg.ops // cfg.connections
+    counts = [
+        per + (1 if i < cfg.ops % cfg.connections else 0)
+        for i in range(cfg.connections)
+    ]
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(_worker(i, count) for i, count in enumerate(counts))
+    )
+    elapsed = time.perf_counter() - start
+
+    # Verification pass: every acked write must read back exactly.
+    coordinator.read_mode = cfg.verify_read_mode
+    await coordinator.refresh_map()
+    lost: list[int] = []
+    for key, want in sorted(model.items()):
+        try:
+            got = await coordinator.get(key)
+        except (ClusterError, OSError, ConnectionError):
+            got = None
+        if got != want:
+            lost.append(key)
+    summary = {
+        "config": {
+            "connections": cfg.connections,
+            "ops": cfg.ops,
+            "workload": cfg.workload,
+            "key_space": cfg.key_space,
+            "read_fraction": cfg.read_fraction,
+            "seed": cfg.seed,
+            "kill": cfg.kill,
+        },
+        "host": host_fingerprint(),
+        "total_ops": sum(counts),
+        "elapsed_s": elapsed,
+        "throughput_ops_per_s": sum(counts) / elapsed if elapsed else 0.0,
+        "latency_us": {
+            op: _summarize_op(values) for op, values in latencies.items()
+        },
+        "errors": errors["read"] + errors["update"],
+        "op_errors": dict(errors),
+        "killed": state["killed"],
+        "failovers": coordinator.failovers,
+        "map_refreshes": coordinator.refreshes,
+        "retries": coordinator.retries,
+        "final_epoch": coordinator.map.epoch,
+        "acked_writes": len(model),
+        "lost_acked": len(lost),
+        "lost_keys": lost[:20],
+    }
+    await coordinator.close()
+    return summary

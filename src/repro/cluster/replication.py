@@ -1,0 +1,189 @@
+"""Leader-side WAL shipping: per-shard record logs and the replicated
+group-commit writer.
+
+The leader never re-encodes anything: a ``record_sink`` installed on
+each led shard's WAL captures the exact framed bytes the engine
+appended during ``put_batch``, and those bytes ship verbatim to every
+follower, which re-verifies the checksum and appends them to its *own*
+WAL through :meth:`~repro.engine.kvstore.KVStore.apply_wal_record`.
+Byte-identical logs on both sides is the whole correctness story:
+whatever a standalone store's recovery would do with this log, a
+follower's recovery does too.
+
+:class:`ReplicatedGroupCommitWriter` keeps the base class's coalescing
+loop and apply path untouched and overrides only the ``_finish`` seam:
+after a group is durable and applied on the leader, its captured
+records ship to followers and the client futures resolve **only after
+the acks come back** — "acked ⇒ durable beyond the leader". A group
+whose records could not reach a single live follower fails its
+waiters (the writes are durable locally but were never acknowledged,
+so the invariant is preserved in the safe direction).
+
+Replication sequences are per-shard, per-*epoch* counters: every
+shard-map change that re-homes a shard resets them, because a new
+leader's log starts empty and catch-up across terms is handled by the
+handoff/promotion machinery (the new leader provably holds everything
+acked), not by cross-term log arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable
+
+from repro.common.errors import ReproError
+from repro.faults.crashpoints import crash_point
+from repro.obs import NULL_OBS, Observability
+from repro.server.group_commit import GroupCommitWriter
+
+
+class ReplicationError(ReproError):
+    """A group's records could not be acknowledged by any follower."""
+
+
+class ReplicationLog:
+    """One shard's in-memory record log with follower progress.
+
+    Seq ``n`` (1-based) is the n-th record appended under the current
+    leader/epoch. ``acked`` tracks each follower's highest contiguous
+    applied seq — followers apply strictly in order, so acked ``n``
+    means the follower holds records ``1..n``.
+    """
+
+    __slots__ = ("shard_id", "records", "acked")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.records: list[bytes] = []
+        self.acked: dict[str, int] = {}
+
+    @property
+    def last_seq(self) -> int:
+        return len(self.records)
+
+    def append(self, record: bytes) -> int:
+        self.records.append(record)
+        return len(self.records)
+
+    def since(self, seq: int) -> list[tuple[int, bytes]]:
+        """(seq, record) pairs with seq > ``seq``, in order."""
+        return [
+            (i + 1, self.records[i]) for i in range(seq, len(self.records))
+        ]
+
+    def ack(self, follower: str, seq: int) -> None:
+        if seq > self.acked.get(follower, 0):
+            self.acked[follower] = seq
+
+    def lag_of(self, follower: str) -> int:
+        return self.last_seq - self.acked.get(follower, 0)
+
+    def max_lag(self, followers: tuple[str, ...]) -> int:
+        if not followers:
+            return 0
+        return max(self.lag_of(f) for f in followers)
+
+
+#: Transport callback the writer ships through: given a shard id and
+#: the records newly appended to its log, push them (plus any backlog
+#: lagging followers still need) and return the number of followers
+#: whose ack covers the log's current tail. The ClusterNode provides
+#: the TCP implementation; tests can provide an in-process one.
+ShipFn = Callable[[int], Awaitable[int]]
+
+
+class ReplicatedGroupCommitWriter(GroupCommitWriter):
+    """Group commit whose acks wait for follower replication."""
+
+    def __init__(
+        self,
+        store,
+        logs: dict[int, ReplicationLog],
+        ship: ShipFn,
+        followers_of: Callable[[int], tuple[str, ...]],
+        max_batch: int = 512,
+        observability: Observability | None = None,
+    ) -> None:
+        super().__init__(
+            store, max_batch=max_batch, observability=observability
+        )
+        self.logs = logs
+        self._ship = ship
+        self._followers_of = followers_of
+        self._captured: list[tuple[int, bytes]] = []
+        #: Lifetime totals (plus metrics when obs is on).
+        self.replicated_records = 0
+        self.replication_failures = 0
+        registry = self.obs.registry
+        self._m_repl_records = registry.counter(
+            "cluster_repl_records_total",
+            "WAL records shipped to followers",
+        )
+        self._m_repl_failures = registry.counter(
+            "cluster_repl_failures_total",
+            "groups failed because no follower acknowledged",
+        )
+        self.install_sinks()
+
+    # -- WAL capture ----------------------------------------------------
+
+    def install_sinks(self) -> None:
+        """(Re)install record sinks on every currently led shard's WAL.
+        Called at construction and again after shard membership changes
+        (handoff commit, promotion)."""
+        for shard_id, shard in self.store.local.items():
+            if shard.wal is None:
+                continue
+            if shard_id in self.logs:
+                shard.wal.record_sink = self._make_sink(shard_id)
+            else:
+                shard.wal.record_sink = None
+
+    def _make_sink(self, shard_id: int):
+        def sink(record: bytes, count: int, batch: bool) -> None:
+            self._captured.append((shard_id, record))
+
+        return sink
+
+    # -- the replicated ack seam ----------------------------------------
+
+    def _apply(self, group) -> bool:
+        self._captured = []
+        return super()._apply(group)
+
+    async def _finish(self, group) -> None:
+        captured, self._captured = self._captured, []
+        touched: list[int] = []
+        for shard_id, record in captured:
+            log = self.logs.get(shard_id)
+            if log is None:
+                # A record for a shard this node no longer leads (the
+                # sink raced a membership change): nothing to ship, the
+                # record is durable locally and the new leader owns the
+                # shard's future.
+                continue
+            log.append(record)
+            if shard_id not in touched:
+                touched.append(shard_id)
+        if touched:
+            try:
+                crash_point("cluster.replicate.before_send")
+                with self.obs.tracer.span(
+                    "repl_group", shards=len(touched), records=len(captured)
+                ):
+                    pass
+                for shard_id in touched:
+                    acks = await self._ship(shard_id)
+                    if not acks and self._followers_of(shard_id):
+                        raise ReplicationError(
+                            f"no follower of shard {shard_id} acknowledged "
+                            f"the group"
+                        )
+                crash_point("cluster.replicate.before_ack")
+            except Exception as exc:  # noqa: BLE001 — waiters must learn
+                self.replication_failures += 1
+                self._m_repl_failures.inc()
+                self._fail(group, exc)
+                return
+            self.replicated_records += len(captured)
+            self._m_repl_records.inc(len(captured))
+        self._resolve(group)

@@ -1,0 +1,150 @@
+"""A node's slice of the keyspace: a sparse subset of the global shards.
+
+:class:`ShardSubsetStore` is a :class:`~repro.engine.sharded.ShardedKVStore`
+whose routing is **global**: keys hash over ``num_global`` shards (the
+cluster-wide count) but only the shards this node hosts are present.
+Everything the base class provides over its shard list — flush, scan
+merge, crash/recover per shard, snapshot aggregation, metric rollup —
+works unchanged because the list simply holds fewer stores; only the
+three routing entry points (``shard_for`` / ``put_batch`` /
+``get_batch``) are overridden to use the global hash and to raise
+:class:`NotOwnedError` for keys the node does not host, which is the
+signal the serving layer turns into a routing error the client answers
+by refreshing its shard map.
+
+Shards attach and detach live (:meth:`add_shard` / :meth:`remove_shard`)
+— the mechanics of a handoff commit: the target attaches its fully
+caught-up staging store and the source detaches its copy, each a
+single dict/list swap on the event loop, so there is never a moment
+when a request sees a half-moved shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.errors import ReproError
+from repro.engine.kvstore import KVStore
+from repro.engine.sharded import ShardedKVStore, shard_of
+from repro.faults.crashpoints import crash_point
+from repro.obs import NULL_OBS, Observability
+
+
+class NotOwnedError(ReproError):
+    """A key routed to a shard this node does not host."""
+
+
+class ShardSubsetStore(ShardedKVStore):
+    """Sparse {global shard id → KVStore} behind the KVStore surface."""
+
+    def __init__(
+        self,
+        shards: dict[int, KVStore],
+        num_global: int,
+        observability: Observability | None = None,
+    ) -> None:
+        if num_global < 1:
+            raise ValueError(f"num_global must be >= 1, got {num_global}")
+        for shard_id in shards:
+            if not 0 <= shard_id < num_global:
+                raise ValueError(
+                    f"shard id {shard_id} out of range for "
+                    f"{num_global} global shards"
+                )
+        self.num_global = num_global
+        self.local: dict[int, KVStore] = dict(shards)
+        # Base-class state, set directly: the base __init__ rejects an
+        # empty shard list, but a node may legitimately host zero
+        # shards after handing its last one away.
+        self.shards = [self.local[i] for i in sorted(self.local)]
+        self.obs = observability if observability is not None else NULL_OBS
+        self._tuning = None
+        if self.obs.enabled and self.shards:
+            self._register_instruments()
+
+    # -- live membership ------------------------------------------------
+
+    def add_shard(self, shard_id: int, store: KVStore) -> None:
+        """Attach a (caught-up) store for a global shard this node did
+        not host. Atomic from the event loop's point of view."""
+        if shard_id in self.local:
+            raise ValueError(f"shard {shard_id} is already hosted")
+        if not 0 <= shard_id < self.num_global:
+            raise ValueError(f"shard id {shard_id} out of range")
+        self.local[shard_id] = store
+        self.shards = [self.local[i] for i in sorted(self.local)]
+
+    def remove_shard(self, shard_id: int) -> KVStore:
+        """Detach a hosted shard (after a handoff committed elsewhere)
+        and return its store."""
+        store = self.local.pop(shard_id, None)
+        if store is None:
+            raise ValueError(f"shard {shard_id} is not hosted here")
+        self.shards = [self.local[i] for i in sorted(self.local)]
+        return store
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.local))
+
+    def owns(self, shard_id: int) -> bool:
+        return shard_id in self.local
+
+    def shard_id_of(self, key: int | str | bytes) -> int:
+        """The *global* shard a key belongs to, hosted here or not."""
+        return shard_of(key, self.num_global)
+
+    # -- routing overrides (global hash, sparse ownership) --------------
+
+    def shard_for(self, key: int | str | bytes) -> KVStore:
+        shard_id = shard_of(key, self.num_global)
+        store = self.local.get(shard_id)
+        if store is None:
+            raise NotOwnedError(
+                f"shard {shard_id} (key {key!r}) is not hosted on this node"
+            )
+        return store
+
+    def put_batch(self, items: list[tuple[int, Any]]) -> None:
+        groups: dict[int, list[tuple[int, Any]]] = {}
+        for key, value in items:
+            groups.setdefault(shard_of(key, self.num_global), []).append(
+                (key, value)
+            )
+        missing = [i for i in groups if i not in self.local]
+        if missing:
+            raise NotOwnedError(
+                f"batch touches unhosted shards {sorted(missing)}"
+            )
+        for position, index in enumerate(sorted(groups)):
+            if position:
+                crash_point("sharded.batch.between_shards")
+            self.local[index].put_batch(groups[index])
+        if self._tuning is not None:
+            self._tuning.on_write(len(items))
+
+    def get_batch(self, keys: list[int]) -> list[Any]:
+        if self._tuning is not None:
+            return [self.get(key) for key in keys]
+        positions: dict[int, list[int]] = {}
+        for pos, key in enumerate(keys):
+            positions.setdefault(shard_of(key, self.num_global), []).append(
+                pos
+            )
+        missing = [i for i in positions if i not in self.local]
+        if missing:
+            raise NotOwnedError(
+                f"batch touches unhosted shards {sorted(missing)}"
+            )
+        out: list[Any] = [None] * len(keys)
+        for index in sorted(positions):
+            group = positions[index]
+            values = self.local[index].get_batch([keys[p] for p in group])
+            for pos, value in zip(group, values):
+                out[pos] = value
+        return out
+
+    def scan(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """Merged scan over the *hosted* shards only (a cluster-wide
+        scan is the coordinator's job: it merges per-leader scans)."""
+        return super().scan(lo, hi)

@@ -29,7 +29,7 @@ from repro.lsm.entry import TOMBSTONE, Entry
 from repro.lsm.memtable import Memtable
 from repro.lsm.storage import StorageDevice
 from repro.lsm.tree import LSMTree, RunManifest
-from repro.lsm.wal import WriteAheadLog
+from repro.lsm.wal import WriteAheadLog, parse_wal_record, record_is_batch
 from repro.obs import NULL_OBS, Observability
 from repro.obs.metrics import LATENCY_NS_BUCKETS, SUBLEVELS_BUCKETS
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -346,6 +346,66 @@ class KVStore:
         stamp directly installed runs)."""
         self._seqno += 1
         return self._seqno
+
+    # ------------------------------------------------------------------
+    # Replication hooks (cluster WAL shipping)
+    # ------------------------------------------------------------------
+
+    def apply_wal_record(self, record: bytes) -> int:
+        """Ingest one replicated, framed WAL record (follower side).
+
+        The record is strictly verified (:func:`parse_wal_record` —
+        any damage raises :class:`~repro.lsm.wal.WalCorruption`), then
+        appended *verbatim* to this store's WAL and applied to the
+        memtable with the leader's original sequence numbers. That
+        ordering mirrors :meth:`_put_group_impl` (flush-first, WAL,
+        then memtable), so a follower's durable state after any crash
+        is exactly a standalone store that logged the same records.
+        Returns the number of items applied.
+        """
+        if self.wal is None:
+            raise RuntimeError("replication requires KVStore(durable=True)")
+        items = parse_wal_record(record)
+        if not items:
+            return 0
+        if len(self.memtable) + len(items) > self.memtable.capacity:
+            self.flush()
+        self.wal.append_raw(
+            record, count=len(items), batch=record_is_batch(record)
+        )
+        crash_point("kvstore.batch.after_wal")
+        top = self._seqno
+        for _kind, key, value, seqno in items:
+            # Deletes arrive as TOMBSTONE values; memtable.put stores
+            # them identically to memtable.delete (same as recovery).
+            self.memtable.put(key, value, seqno)
+            if seqno > top:
+                top = seqno
+        self._seqno = top
+        self.updates += len(items)
+        return len(items)
+
+    def export_entries(self) -> list[tuple[int, Any, int]]:
+        """Materialize every live version — tree runs then memtable,
+        newest version winning — as (key, value, seqno) triples with
+        tombstones preserved. This is the shard-handoff snapshot
+        source; the scan is an auxiliary pass in the paper's section
+        4.5 sense, so storage reads are uncounted."""
+        best: dict[int, tuple[Any, int]] = {}
+        with self.tree.storage.counting_suspended():
+            for _sublevel, run in self.tree.occupied_runs():
+                for entry in run.read_all():
+                    cur = best.get(entry.key)
+                    if cur is None or entry.seqno > cur[1]:
+                        best[entry.key] = (entry.value, entry.seqno)
+        for entry in self.memtable.sorted_entries():
+            cur = best.get(entry.key)
+            if cur is None or entry.seqno > cur[1]:
+                best[entry.key] = (entry.value, entry.seqno)
+        return [
+            (key, value, seqno)
+            for key, (value, seqno) in sorted(best.items())
+        ]
 
     def flush(self) -> None:
         """Force the memtable into the tree (normally automatic)."""

@@ -96,6 +96,39 @@ CRASH_POINTS: dict[str, str] = {
         "die after a merge-policy switch rebuilt the tree's runs but "
         "before the store swapped to the new tree (old manifest wins)"
     ),
+    "cluster.replicate.before_send": (
+        "leader dies after its local WAL append/apply but before the "
+        "group's record was shipped to any follower (unacked writes "
+        "may exist only on the dead leader)"
+    ),
+    "cluster.replicate.before_ack": (
+        "leader dies after followers acked the group's record but "
+        "before any client waiter was acknowledged"
+    ),
+    "cluster.handoff.before_snapshot": (
+        "source dies after a handoff began, before any snapshot chunk "
+        "was shipped (target staging store discarded)"
+    ),
+    "cluster.handoff.mid_stream": (
+        "source dies between snapshot chunks (target holds a prefix in "
+        "staging; the shard map still routes to the source)"
+    ),
+    "cluster.handoff.before_commit": (
+        "source dies after the WAL tail drained but before the shard "
+        "map flipped (old owner still authoritative)"
+    ),
+    "cluster.handoff.after_commit": (
+        "source dies immediately after the shard-map flip (new owner "
+        "authoritative; source copy is garbage)"
+    ),
+    "cluster.promote.before_adopt": (
+        "candidate dies after being chosen for promotion but before it "
+        "adopted leadership of the orphaned shards"
+    ),
+    "cluster.promote.after_adopt": (
+        "candidate dies immediately after adopting leadership, before "
+        "the bumped shard map reached the other nodes"
+    ),
 }
 
 

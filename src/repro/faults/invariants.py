@@ -71,6 +71,37 @@ class InvariantChecker:
                 )
         return violations
 
+    def check_acked_reads(
+        self,
+        actuals: dict[int, Any],
+        expectations: dict[int, tuple[Any, ...]],
+    ) -> list[Violation]:
+        """The cluster-wide form of :meth:`check_state`: ``actuals``
+        holds what post-failover reads (through whatever node survived
+        a kill) actually returned per key. Same contract — every key
+        must read one of its allowed values, :data:`ABSENT` meaning
+        not-readable — but decoupled from a store handle because
+        cluster reads are async and may traverse several nodes."""
+        violations = []
+        for key in sorted(expectations):
+            allowed = expectations[key]
+            actual = actuals.get(key)
+            if not any(
+                actual == want and type(actual) is type(want)
+                if want is not ABSENT
+                else actual is None
+                for want in allowed
+            ):
+                wanted = " or ".join(repr(want) for want in allowed)
+                violations.append(
+                    Violation(
+                        "acked-durable",
+                        f"key {key}: cluster read returned {actual!r}, "
+                        f"expected {wanted}",
+                    )
+                )
+        return violations
+
     def check_structure(self, store) -> list[Violation]:
         """Structural agreement between tree, filter, manifest, storage
         and counters, per shard."""

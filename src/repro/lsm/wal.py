@@ -22,7 +22,7 @@ a bare ``IndexError`` or ``UnicodeDecodeError``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.common.errors import ReproError
 from repro.common.hashing import splitmix64
@@ -114,6 +114,16 @@ class WriteAheadLog:
     #: the logical write count: coalescing is working iff it stays
     #: strictly below the number of writes it covered.
     batch_records: int = 0
+    #: Optional tap on fully appended records: called with
+    #: ``(record, count, batch)`` after the bytes land. The cluster
+    #: leader installs one to capture verbatim records for follower
+    #: shipping. ``None`` (the default) is free, and because the
+    #: fault injector's torn-append override of :meth:`_write_record`
+    #: never calls the base method, a torn record never reaches the
+    #: sink — exactly the "only durable records replicate" rule.
+    record_sink: Callable[[bytes, int, bool], None] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def append_put(self, key: int, value: Any, seqno: int) -> None:
         self._write_record(
@@ -138,13 +148,9 @@ class WriteAheadLog:
         """
         if not items:
             return
-        payload = bytearray([_BATCH])
-        payload += len(items).to_bytes(4, "little")
-        for key, value, seqno in items:
-            payload += _encode_item(
-                _DELETE if value is TOMBSTONE else _PUT, key, value, seqno
-            )
-        self._write_record(_frame(bytes(payload)), count=len(items), batch=True)
+        self._write_record(
+            encode_batch_record(items), count=len(items), batch=True
+        )
 
     def _write_record(self, record: bytes, count: int, batch: bool) -> None:
         """Physically append one framed record.
@@ -158,6 +164,18 @@ class WriteAheadLog:
         self.appended_bytes += len(record)
         if batch:
             self.batch_records += 1
+        if self.record_sink is not None:
+            self.record_sink(record, count, batch)
+
+    def append_raw(self, record: bytes, count: int, batch: bool) -> None:
+        """Append one already-framed record verbatim.
+
+        The follower half of WAL shipping: a replicated record lands
+        in the follower's log byte-identical to the leader's append,
+        so a follower that later crash-recovers replays exactly what
+        a standalone store would have logged.
+        """
+        self._write_record(record, count=count, batch=batch)
 
     def truncate(self) -> None:
         """Discard the log (after a successful flush made it redundant)."""
@@ -252,3 +270,53 @@ class WriteAheadLog:
         if kind == _DELETE:
             return ("delete", key, TOMBSTONE, seqno), next_pos
         return ("put", key, _decode_value(vkind, raw, offset), seqno), next_pos
+
+
+def encode_batch_record(items: list[tuple[int, Any, int]]) -> bytes:
+    """One framed, checksummed batch record for ``items`` — the exact
+    bytes :meth:`WriteAheadLog.append_batch` would append. The handoff
+    path uses this to turn snapshot chunks into shippable records."""
+    payload = bytearray([_BATCH])
+    payload += len(items).to_bytes(4, "little")
+    for key, value, seqno in items:
+        payload += _encode_item(
+            _DELETE if value is TOMBSTONE else _PUT, key, value, seqno
+        )
+    return _frame(bytes(payload))
+
+
+def record_is_batch(record: bytes) -> bool:
+    """Whether a framed record is a batch record (affects only the
+    ``batch_records`` statistic when re-appending on a follower)."""
+    return len(record) > 8 and record[8] == _BATCH
+
+
+def parse_wal_record(record: bytes) -> list[tuple[str, int, Any, int]]:
+    """Strictly parse ONE framed WAL record into its items.
+
+    Unlike :meth:`WriteAheadLog.replay`, nothing is tolerated: a short
+    header, a length that disagrees with the byte count, a failing
+    checksum, or any structural violation raises
+    :class:`WalCorruption`. This is the receive-side check for
+    replicated records — a follower must never apply (or re-log) a
+    record a crash-recovering standalone store would reject, so torn
+    or damaged ships fail loudly instead of truncating silently.
+    Returns ('put'|'delete', key, value, seqno) tuples.
+    """
+    if len(record) < 8:
+        raise WalCorruption(
+            f"replicated record header truncated ({len(record)} bytes)"
+        )
+    length = int.from_bytes(record[:4], "little")
+    checksum = int.from_bytes(record[4:8], "little")
+    if len(record) != 8 + length:
+        raise WalCorruption(
+            f"replicated record length {length} disagrees with "
+            f"{len(record) - 8} payload bytes"
+        )
+    payload = bytes(record[8:])
+    if _checksum(payload) != checksum:
+        raise WalCorruption("replicated record failed its checksum")
+    # Structural decode via the one true replay path, so value-kind
+    # fidelity and corruption semantics are literally the same code.
+    return list(WriteAheadLog(data=bytearray(record)).replay())

@@ -248,9 +248,22 @@ class AsyncClient(_TraceMixin):
             raise ConnectionResetError("client is closed")
         waiter: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters[req.request_id] = waiter
-        self._writer.write(frame(encode_request(req)))
-        await self._writer.drain()
-        return await waiter
+        try:
+            self._writer.write(frame(encode_request(req)))
+            await self._writer.drain()
+            return await waiter
+        except BaseException:
+            # Don't orphan the waiter when the send (or this task) dies
+            # first — _dispatch would later set an exception nobody
+            # retrieves, and asyncio warns at shutdown.
+            self._waiters.pop(req.request_id, None)
+            if waiter.cancelled():
+                pass
+            elif waiter.done():
+                waiter.exception()
+            else:
+                waiter.cancel()
+            raise
 
     async def _call(self, req: Request) -> Response:
         """One typed round-trip: sampling, span recording, status check."""

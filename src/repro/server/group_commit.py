@@ -60,6 +60,10 @@ class GroupCommitWriter:
         self._wake = asyncio.Event()
         self._closed = False
         self._task: asyncio.Task | None = None
+        #: True while a popped group is mid apply/finish — such a group
+        #: is in neither ``queue_depth`` nor the store yet, so drain
+        #: loops must wait for both to clear.
+        self.active = False
         #: Lifetime totals (also exported as metrics when obs is on).
         self.batches = 0
         self.items = 0
@@ -152,12 +156,22 @@ class GroupCommitWriter:
             del self._pending[: len(group)]
             if not group:
                 continue
-            self._apply(group)
+            self.active = True
+            try:
+                if self._apply(group):
+                    # Base class: resolves synchronously (the coroutine
+                    # never awaits, so this is the same event-loop step
+                    # as the apply — behaviour identical to the
+                    # pre-split code). The replicated subclass awaits
+                    # follower acks here before resolving.
+                    await self._finish(group)
+            finally:
+                self.active = False
 
     def _apply(
         self,
         group: list[tuple[int, Any, asyncio.Future, tuple[int, int] | None]],
-    ) -> None:
+    ) -> bool:
         items = [(key, value) for key, value, _, _ in group]
         # Traced submissions in this group: the first context hosts the
         # batch span (and, via the family carrier, the shard-level
@@ -184,12 +198,8 @@ class GroupCommitWriter:
                 # writes, and the ack contract still holds.
                 crash_point("group_commit.before_ack")
         except Exception as exc:  # noqa: BLE001 — propagate to every waiter
-            self.failed_items += len(group)
-            self._m_failed_items.inc(len(group))
-            for _, _, future, _ in group:
-                if not future.done():
-                    future.set_exception(exc)
-            return
+            self._fail(group, exc)
+            return False
         if primary is not None:
             seen = {primary[0]}
             for trace_id, parent_id in ctxs[1:]:
@@ -211,9 +221,36 @@ class GroupCommitWriter:
         self._m_batches.inc()
         self._m_items.inc(len(group))
         self._m_batch_size.observe(len(group))
+        return True
+
+    async def _finish(
+        self,
+        group: list[tuple[int, Any, asyncio.Future, tuple[int, int] | None]],
+    ) -> None:
+        """Acknowledge an applied group. The seam a replicated writer
+        overrides: ship the group's WAL records to followers, await
+        their acks, *then* resolve — so an acknowledged write is
+        durable beyond the leader."""
+        self._resolve(group)
+
+    def _resolve(
+        self,
+        group: list[tuple[int, Any, asyncio.Future, tuple[int, int] | None]],
+    ) -> None:
         for _, _, future, _ in group:
             if not future.done():
                 future.set_result(None)
+
+    def _fail(
+        self,
+        group: list[tuple[int, Any, asyncio.Future, tuple[int, int] | None]],
+        exc: BaseException,
+    ) -> None:
+        self.failed_items += len(group)
+        self._m_failed_items.inc(len(group))
+        for _, _, future, _ in group:
+            if not future.done():
+                future.set_exception(exc)
 
     async def close(self) -> None:
         """Drain everything already submitted, then stop the writer.

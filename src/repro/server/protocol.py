@@ -41,14 +41,28 @@ SCAN      u64 lo | u64 hi | u32 limit
 STATS     (empty)
 SHUTDOWN  (empty)
 TRACE     u64 trace_id (0 = list known trace ids + sink health)
+REPLICATE u32 shard | u64 repl_seq | u64 map_epoch | record bytes
+REPL_ACK  u32 shard
+HANDOFF   u8 phase | u32 shard | u64 seq | u64 map_epoch | blob
+CLUSTER_STATUS  (empty)
 ========  =======================================================
+
+The four cluster ops are additive exactly like the trace header: an
+old server rejects them as unknown opcodes, old clients never send
+them. REPLICATE ships one verbatim group-commit WAL record (framed,
+checksummed — the follower re-verifies); HANDOFF phases are
+:data:`HANDOFF_BEGIN` / ``CHUNK`` / ``TAIL_DONE`` / ``COMMIT`` /
+``ABORT`` / ``PROMOTE`` (blob = snapshot chunk for CHUNK, shard-map
+JSON for COMMIT/PROMOTE).
 
 Response bodies by status/op: ``OK GET`` carries ``u32 vlen | value``
 (``NOT_FOUND`` is empty); ``OK BATCH`` carries ``u32 applied``; ``OK
 SCAN`` carries ``u32 count | count * (u64 key | u32 vlen | value)``;
-``OK STATS`` and ``OK TRACE`` carry UTF-8 JSON; ``BUSY`` / ``ERROR`` /
-``SHUTTING_DOWN`` carry an optional UTF-8 message. Everything else is
-empty.
+``OK STATS``, ``OK TRACE`` and ``OK CLUSTER_STATUS`` carry UTF-8
+JSON; ``OK REPLICATE`` / ``OK REPL_ACK`` / ``OK HANDOFF`` carry
+``u64 applied`` (the receiver's durable replication sequence);
+``BUSY`` / ``ERROR`` / ``SHUTTING_DOWN`` carry an optional UTF-8
+message. Everything else is empty.
 
 Robustness rules (enforced here, relied on by the server): a frame
 longer than :data:`MAX_FRAME_BYTES` is a protocol error before any
@@ -84,6 +98,10 @@ _KEY_VLEN = struct.Struct(">QI")
 _SCAN_BODY = struct.Struct(">QQI")
 #: Optional trace context: trace id + parent span id.
 _TRACE_HEAD = struct.Struct(">QQ")
+#: REPLICATE body head: shard | repl_seq | map_epoch.
+_REPL_HEAD = struct.Struct(">IQQ")
+#: HANDOFF body head: phase | shard | seq | map_epoch.
+_HANDOFF_HEAD = struct.Struct(">BIQQ")
 
 MAX_KEY = (1 << 64) - 1
 
@@ -105,6 +123,10 @@ class Op(IntEnum):
     STATS = 6
     SHUTDOWN = 7
     TRACE = 8
+    REPLICATE = 9
+    REPL_ACK = 10
+    HANDOFF = 11
+    CLUSTER_STATUS = 12
 
 
 class Status(IntEnum):
@@ -118,6 +140,27 @@ class Status(IntEnum):
 #: BATCH item kinds.
 KIND_PUT = 0
 KIND_DELETE = 1
+
+#: HANDOFF phases (Request.phase).
+HANDOFF_BEGIN = 0
+HANDOFF_CHUNK = 1
+HANDOFF_TAIL_DONE = 2
+HANDOFF_COMMIT = 3
+HANDOFF_ABORT = 4
+HANDOFF_PROMOTE = 5
+#: Operator trigger: "you lead this shard — hand it to the node named
+#: in the value". The source answers after the whole migration commits.
+HANDOFF_START = 6
+
+_HANDOFF_PHASES = (
+    HANDOFF_BEGIN,
+    HANDOFF_CHUNK,
+    HANDOFF_TAIL_DONE,
+    HANDOFF_COMMIT,
+    HANDOFF_ABORT,
+    HANDOFF_PROMOTE,
+    HANDOFF_START,
+)
 
 
 @dataclass(frozen=True)
@@ -134,6 +177,12 @@ class Request:
     lo: int = 0
     hi: int = 0
     limit: int = 0
+    #: Cluster ops: shard id, replication sequence, shard-map epoch,
+    #: HANDOFF phase. ``value`` carries the record / blob bytes.
+    shard: int = 0
+    seq: int = 0
+    epoch: int = 0
+    phase: int = 0
     #: Trace context (0 = unsampled, no header on the wire).
     trace_id: int = 0
     parent_span_id: int = 0
@@ -179,10 +228,22 @@ def encode_request(req: Request) -> bytes:
     else:
         head = _REQ_HEAD.pack(req.request_id, opcode)
     op = req.op
-    if op in (Op.PING, Op.STATS, Op.SHUTDOWN):
+    if op in (Op.PING, Op.STATS, Op.SHUTDOWN, Op.CLUSTER_STATUS):
         return head
     if op in (Op.GET, Op.DELETE, Op.TRACE):
         return head + _U64.pack(_check_key(req.key))
+    if op is Op.REPLICATE:
+        return head + _REPL_HEAD.pack(req.shard, req.seq, req.epoch) + req.value
+    if op is Op.REPL_ACK:
+        return head + _U32.pack(req.shard)
+    if op is Op.HANDOFF:
+        if req.phase not in _HANDOFF_PHASES:
+            raise ProtocolError(f"bad handoff phase {req.phase}")
+        return (
+            head
+            + _HANDOFF_HEAD.pack(req.phase, req.shard, req.seq, req.epoch)
+            + req.value
+        )
     if op is Op.PUT:
         return head + _KEY_VLEN.pack(_check_key(req.key), len(req.value)) + req.value
     if op is Op.BATCH:
@@ -221,8 +282,10 @@ def encode_response(resp: Response) -> bytes:
             parts.append(_KEY_VLEN.pack(_check_key(key), len(value)))
             parts.append(value)
         return b"".join(parts)
-    if op in (Op.STATS, Op.TRACE):
+    if op in (Op.STATS, Op.TRACE, Op.CLUSTER_STATUS):
         return head + resp.value
+    if op in (Op.REPLICATE, Op.REPL_ACK, Op.HANDOFF):
+        return head + _U64.pack(resp.count)
     return head  # PING / PUT / DELETE / SHUTDOWN OK: empty body
 
 
@@ -295,9 +358,27 @@ def decode_request(payload: bytes) -> Request:
         raw_op &= ~TRACE_FLAG
     op = _decode_op(raw_op)
     ctx = {"trace_id": trace_id, "parent_span_id": parent_span_id}
-    if op in (Op.PING, Op.STATS, Op.SHUTDOWN):
+    if op in (Op.PING, Op.STATS, Op.SHUTDOWN, Op.CLUSTER_STATUS):
         cur.finish()
         return Request(request_id, op, **ctx)
+    if op is Op.REPLICATE:
+        shard, seq, epoch = cur.unpack(_REPL_HEAD)
+        return Request(
+            request_id, op, shard=shard, seq=seq, epoch=epoch,
+            value=cur.rest(), **ctx,
+        )
+    if op is Op.REPL_ACK:
+        (shard,) = cur.unpack(_U32)
+        cur.finish()
+        return Request(request_id, op, shard=shard, **ctx)
+    if op is Op.HANDOFF:
+        phase, shard, seq, epoch = cur.unpack(_HANDOFF_HEAD)
+        if phase not in _HANDOFF_PHASES:
+            raise ProtocolError(f"bad handoff phase {phase}")
+        return Request(
+            request_id, op, phase=phase, shard=shard, seq=seq, epoch=epoch,
+            value=cur.rest(), **ctx,
+        )
     if op in (Op.GET, Op.DELETE, Op.TRACE):
         (key,) = cur.unpack(_U64)
         cur.finish()
@@ -358,8 +439,12 @@ def decode_response(payload: bytes) -> Response:
             pairs.append((key, cur.take(vlen)))
         cur.finish()
         return Response(request_id, op, status, pairs=tuple(pairs))
-    if op in (Op.STATS, Op.TRACE):
+    if op in (Op.STATS, Op.TRACE, Op.CLUSTER_STATUS):
         return Response(request_id, op, status, value=cur.rest())
+    if op in (Op.REPLICATE, Op.REPL_ACK, Op.HANDOFF):
+        (applied,) = cur.unpack(_U64)
+        cur.finish()
+        return Response(request_id, op, status, count=applied)
     cur.finish()
     return Response(request_id, op, status)
 

@@ -103,6 +103,12 @@ class ServerConfig:
             disables the time-series store and the SLO engine; needs
             observability enabled to do anything).
         telemetry_capacity: ring size of each telemetry series.
+        fuse_gets: when a pipelined connection has >= 2 consecutive
+            untraced GETs already buffered, serve up to this many of
+            them through one fused ``store.get_batch`` call (<= 1
+            disables fusion). Counted I/Os per key are identical to
+            serving them one by one — only Python-level dispatch
+            overhead is amortised.
     """
 
     host: str = "127.0.0.1"
@@ -114,6 +120,7 @@ class ServerConfig:
     stats_full_metrics: bool = False
     telemetry_interval: float = 0.0
     telemetry_capacity: int = 512
+    fuse_gets: int = 32
 
     def __post_init__(self) -> None:
         if self.telemetry_interval < 0:
@@ -175,7 +182,17 @@ class ReproServer:
         self.shed = 0
         self.errors = 0
         self.bad_frames = 0
+        self.get_batches = 0
+        self.batched_gets = 0
         registry = self.obs.registry
+        self._m_get_batches = registry.counter(
+            "server_get_batches_total",
+            "fused GET batches served via store.get_batch",
+        )
+        self._m_batched_gets = registry.counter(
+            "server_batched_gets_total",
+            "GET requests served inside a fused batch",
+        )
         self._m_requests = registry.counter(
             "server_requests_total", "requests accepted for processing"
         )
@@ -317,13 +334,135 @@ class ReproServer:
                     self.bad_frames += 1
                     self._m_bad_frames.inc()
                     break
-                await self._dispatch(conn, request)
+                leftover = None
+                if self.config.fuse_gets > 1 and self._can_fuse(request):
+                    # Pipelining detector: only frames ALREADY buffered
+                    # join the fusion — never wait for more input.
+                    fused, leftover = await self._collect_fused(
+                        reader, request
+                    )
+                    if len(fused) > 1:
+                        await self._dispatch_get_batch(conn, fused)
+                    else:
+                        await self._dispatch(conn, request)
+                else:
+                    await self._dispatch(conn, request)
+                if leftover is not None:
+                    await self._dispatch(conn, leftover)
         except (ProtocolError, ConnectionResetError, BrokenPipeError):
             self.bad_frames += 1
             self._m_bad_frames.inc()
         finally:
             self._connections.discard(conn)
             await self._close_connection(conn)
+
+    def _can_fuse(self, request: Request) -> bool:
+        """Whether a request may join a fused GET batch. Traced GETs
+        keep their individual serve spans; subclasses narrow further
+        (e.g. cluster routing checks)."""
+        return request.op is Op.GET and not request.trace_id
+
+    @staticmethod
+    def _buffered_frame_ready(reader: asyncio.StreamReader) -> bool:
+        """True when a complete frame is already in the reader's buffer
+        (so ``read_frame`` completes without waiting). Peeks the
+        stream's internal buffer; on a reader without one, fusion just
+        never kicks in."""
+        buffer = getattr(reader, "_buffer", None)
+        if buffer is None or len(buffer) < 4:
+            return False
+        length = int.from_bytes(buffer[:4], "big")
+        return len(buffer) >= 4 + length
+
+    async def _collect_fused(
+        self, reader: asyncio.StreamReader, first: Request
+    ) -> tuple[list[Request], Request | None]:
+        """Greedily pop buffered consecutive fusable GETs after
+        ``first``. Returns (fused GETs, first non-fusable request
+        popped while probing — to dispatch after the batch)."""
+        fused = [first]
+        while (
+            len(fused) < self.config.fuse_gets
+            and self._buffered_frame_ready(reader)
+        ):
+            payload = await read_frame(reader)
+            if payload is None:  # pragma: no cover — buffered ⇒ present
+                break
+            request = decode_request(payload)
+            if not self._can_fuse(request):
+                return fused, request
+            fused.append(request)
+        return fused, None
+
+    async def _dispatch_get_batch(
+        self, conn: _Connection, requests: list[Request]
+    ) -> None:
+        """Admission + task handoff for one fused GET batch. The batch
+        must fit the inflight budgets whole; otherwise it falls back to
+        per-request dispatch (preserving shed semantics exactly)."""
+        n = len(requests)
+        if (
+            self._draining
+            or self._inflight + n > self.config.max_inflight
+            or conn.inflight + n > self.config.max_queue_depth
+        ):
+            for request in requests:
+                await self._dispatch(conn, request)
+            return
+        self._inflight += n
+        conn.inflight += n
+        self._idle.clear()
+        self.requests += n
+        self._m_requests.inc(n)
+        asyncio.get_running_loop().create_task(
+            self._serve_get_batch(conn, requests)
+        )
+
+    async def _serve_get_batch(
+        self, conn: _Connection, requests: list[Request]
+    ) -> None:
+        start = time.perf_counter_ns()
+        n = len(requests)
+        try:
+            keys = [request.key for request in requests]
+            try:
+                with self.obs.tracer.span("serve_get_batch", size=n):
+                    values = self.store.get_batch(keys)
+            except Exception as exc:  # noqa: BLE001 — must not kill the server
+                self.errors += n
+                self._m_errors.inc(n)
+                message = f"{type(exc).__name__}: {exc}"
+                for request in requests:
+                    await self._respond(
+                        conn,
+                        Response(
+                            request.request_id, Op.GET, Status.ERROR,
+                            message=message,
+                        ),
+                    )
+                return
+            self.get_batches += 1
+            self.batched_gets += n
+            self._m_get_batches.inc()
+            self._m_batched_gets.inc(n)
+            elapsed_us = (time.perf_counter_ns() - start) / 1_000 / n
+            for request, value in zip(requests, values):
+                self._m_latency[Op.GET].observe(elapsed_us)
+                if value is None:
+                    response = Response(
+                        request.request_id, Op.GET, Status.NOT_FOUND
+                    )
+                else:
+                    response = Response(
+                        request.request_id, Op.GET, Status.OK,
+                        value=self._encode_value(value),
+                    )
+                await self._respond(conn, response)
+        finally:
+            self._inflight -= n
+            conn.inflight -= n
+            if self._inflight == 0:
+                self._idle.set()
 
     async def _close_connection(self, conn: _Connection) -> None:
         if conn.closed:
@@ -584,6 +723,8 @@ class ReproServer:
                 "shed": self.shed,
                 "errors": self.errors,
                 "bad_frames": self.bad_frames,
+                "get_batches": self.get_batches,
+                "batched_gets": self.batched_gets,
                 "inflight": self._inflight,
                 "connections": len(self._connections),
                 "draining": self._draining,

@@ -23,7 +23,7 @@ runs, the safety net ``repro faultcheck`` exercises).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Callable
 
 from repro.engine.config import EngineConfig
 from repro.engine.kvstore import KVStore, ReadResult
@@ -41,6 +41,11 @@ from repro.tuning.planner import (
     TuningDecision,
 )
 from repro.tuning.sensor import WindowSummary, WorkloadSensor, store_shards
+
+#: Objectives whose alerts may trigger a cluster shard rebalance via
+#: :attr:`TuningController.rebalance_hook` (see repro.obs.slo's
+#: ``default_cluster_slos``).
+REBALANCE_SLOS = ("replication-staleness",)
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,12 @@ class TuningController:
         self._busy = False
         #: Last SLO statuses pushed via :meth:`on_slo` (JSON-ready).
         self.last_slo: list[dict[str, Any]] = []
+        #: Cluster seam: called with the alerting status dict when an
+        #: SLO named in :data:`REBALANCE_SLOS` *transitions into*
+        #: alerting (edge-triggered — a persistent alert fires once).
+        #: A cluster operator wires this to a shard rebalance.
+        self.rebalance_hook: Callable[[dict[str, Any]], None] | None = None
+        self._slo_alerting: set[str] = set()
         registry = self.obs.registry
         self._m_windows = registry.counter(
             "tuning_windows_total", "sensing windows closed"
@@ -101,6 +112,10 @@ class TuningController:
         )
         self._g_win = registry.gauge(
             "tuning_last_win", "modelled win of the last non-hold decision"
+        )
+        self._m_rebalance = registry.counter(
+            "tuning_rebalance_requests_total",
+            "shard rebalances requested off SLO pressure",
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -133,10 +148,28 @@ class TuningController:
         the latest objective statuses so planning context (and
         ``status()`` consumers) can see objective pressure, not just
         workload shape. Accepts :class:`~repro.obs.slo.SLOStatus`
-        objects or ready-made dicts."""
+        objects or ready-made dicts.
+
+        Cluster deployments may set :attr:`rebalance_hook`; when a
+        rebalance-eligible objective (:data:`REBALANCE_SLOS`, i.e.
+        replication staleness) transitions into alerting, the hook is
+        called once with the status dict — the operator's cue to move
+        a hot shard to a less loaded node."""
         self.last_slo = [
             s if isinstance(s, dict) else s.as_dict() for s in statuses
         ]
+        for status in self.last_slo:
+            name = status.get("name", "")
+            if name not in REBALANCE_SLOS:
+                continue
+            if status.get("alerting"):
+                if name not in self._slo_alerting:
+                    self._slo_alerting.add(name)
+                    self._m_rebalance.inc()
+                    if self.rebalance_hook is not None:
+                        self.rebalance_hook(status)
+            else:
+                self._slo_alerting.discard(name)
 
     # -- the loop -------------------------------------------------------
 

@@ -125,6 +125,25 @@ SERVE_BANDS: dict[str, Band] = {
     "errors": Band(0.0, None, floor=0.0),
 }
 
+#: Keys that must match for a cluster diff (nested under ``config``).
+CLUSTER_CONFIG_KEYS = (
+    "ops", "connections", "workload", "key_space", "read_fraction",
+    "seed", "kill",
+)
+
+#: Per-metric bands for the BENCH_cluster.json summary.
+CLUSTER_BANDS: dict[str, Band] = {
+    "throughput_ops_per_s": Band(None, 0.60, wall=True),
+    "latency_us.read.p99_us": Band(4.0, None, floor=2000.0, wall=True),
+    "latency_us.update.p99_us": Band(4.0, None, floor=2000.0, wall=True),
+    # THE gate: an acked write that cannot be read back after the
+    # mid-run leader kill. Zero tolerance, never relaxed.
+    "lost_acked": Band(0.0, None, floor=0.0),
+    # A leader kill legitimately surfaces a few routed-request errors
+    # while the failover converges; losing *acked* data does not.
+    "errors": Band(3.0, None, floor=10.0, wall=True),
+}
+
 
 def _lookup(tree: dict[str, Any], path: str) -> float | None:
     node: Any = tree
@@ -312,6 +331,33 @@ def diff_serve(
     violations, warnings = _relax_wall(violations, host_mismatches)
     return {
         "artifact": "serve",
+        "ok": not mismatches and not violations,
+        "config_mismatches": mismatches,
+        "host_mismatches": host_mismatches,
+        "checks": checks,
+        "violations": violations,
+        "warnings": warnings,
+    }
+
+
+def diff_cluster(
+    baseline: dict[str, Any], current: dict[str, Any]
+) -> dict[str, Any]:
+    """Diff two BENCH_cluster.json summaries (loadgen ``--cluster``)."""
+    mismatches = _config_mismatches(
+        baseline.get("config", {}), current.get("config", {}),
+        CLUSTER_CONFIG_KEYS,
+    )
+    host_mismatches = _host_mismatches(baseline, current)
+    checks: list[dict[str, Any]] = []
+    violations: list[dict[str, Any]] = []
+    if not mismatches:
+        checks, violations = _diff_tree(
+            baseline, current, CLUSTER_BANDS, "cluster"
+        )
+    violations, warnings = _relax_wall(violations, host_mismatches)
+    return {
+        "artifact": "cluster",
         "ok": not mismatches and not violations,
         "config_mismatches": mismatches,
         "host_mismatches": host_mismatches,

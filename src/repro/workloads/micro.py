@@ -9,11 +9,15 @@ prefix decode, cuckoo probe, Bloom batch ops — in plain Python
 artifact carrying the host fingerprint, making before/after comparisons
 honest about where they ran.
 
-Two cases are comparative and report a speedup alongside the ns/op:
+Several cases are comparative and report a speedup alongside the ns/op:
 
 * ``decode_table`` vs ``decode_reference`` — the byte-at-a-time decode
   table against the bit-serial tree walk it replaced (toggled via
   :func:`repro.chucky.decode.legacy_codec`);
+* ``bucket_pack`` — the compiled per-combination pack functions against
+  the reference BitWriter path (same toggle);
+* ``get_batch_fused`` — one ``store.get_batch`` pass against the
+  per-key ``store.get`` loop the server's fused-GET dispatch replaces;
 * ``bloom_vectorized_*`` vs the scalar blocked-Bloom loop (only when
   numpy resolves; the suite runs without it, just shorter).
 """
@@ -99,7 +103,12 @@ def run_micro(inner: int = 256, rounds: int = 5) -> dict[str, Any]:
         lambda i: fresh.insert(next(counter), 6), inner, rounds))
 
     cb, codec, slots, packed = _codec_fixture()
-    case("bucket_pack", time_op(lambda i: codec.pack(slots), inner, rounds))
+    pack_ns = time_op(lambda i: codec.pack(slots), inner, rounds)
+    with _decode.legacy_codec():
+        pack_ref_ns = time_op(lambda i: codec.pack(slots), inner, rounds)
+    case("bucket_pack", pack_ns,
+         reference_ns_per_op=round(pack_ref_ns, 1),
+         speedup=round(pack_ref_ns / pack_ns, 2) if pack_ns else None)
     case("bucket_unpack", time_op(
         lambda i: codec.unpack(packed, None), inner, rounds))
 
@@ -113,6 +122,22 @@ def run_micro(inner: int = 256, rounds: int = 5) -> dict[str, Any]:
     case("decode_table", fast_ns,
          reference_ns_per_op=round(ref_ns, 1),
          speedup=round(ref_ns / fast_ns, 2) if fast_ns else None)
+
+    # Fused GET dispatch: the server folds consecutive pipelined GETs
+    # into one store.get_batch call. Time the batched pass against the
+    # per-key loop it replaces (same counted I/Os per key by contract).
+    from repro.engine.kvstore import KVStore
+
+    store = KVStore()
+    for k in range(4096):
+        store.put(k, f"v{k}")
+    batch = [(i * 37) % 4096 for i in range(32)]
+    batch_ns = time_op(lambda i: store.get_batch(batch), 32, rounds) / 32
+    loop_ns = time_op(
+        lambda i: [store.get(k) for k in batch], 32, rounds) / 32
+    case("get_batch_fused", batch_ns,
+         reference_ns_per_op=round(loop_ns, 1),
+         speedup=round(loop_ns / batch_ns, 2) if batch_ns else None)
 
     cuckoo = CuckooFilter(20000, fingerprint_bits=12)
     for k in range(15000):

@@ -1,0 +1,512 @@
+"""Cluster subsystem tests: shard maps, wire ops, WAL shipping,
+follower bit-identity, staleness bounds, failover, live handoff, and
+the crash campaign.
+
+The live tests run a real 3-node loopback cluster inside one event
+loop (actual sockets, actual frames — the same code production runs,
+via the faultcheck harness's ``_LiveCluster``); the bit-identity tests
+work at the WAL-record layer, where replication actually operates.
+"""
+
+import asyncio
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterFaultcheckConfig,
+    ClusterSpec,
+    NotOwnedError,
+    ReplicationLog,
+    ShardMap,
+    ShardMapError,
+    ShardSubsetStore,
+    even_map,
+    run_cluster_faultcheck,
+)
+from repro.cluster.faultcheck import _LiveCluster
+from repro.cluster.node import build_shard_store
+from repro.engine.config import EngineConfig
+from repro.engine.sharded import shard_of
+from repro.server.protocol import (
+    HANDOFF_ABORT,
+    HANDOFF_BEGIN,
+    HANDOFF_CHUNK,
+    HANDOFF_COMMIT,
+    HANDOFF_PROMOTE,
+    HANDOFF_START,
+    HANDOFF_TAIL_DONE,
+    Op,
+    Request,
+    Response,
+    Status,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+
+def _tiny_engine() -> EngineConfig:
+    return EngineConfig.leveled(
+        size_ratio=3,
+        buffer_entries=8,
+        block_entries=4,
+        cache_blocks=8,
+        durable=True,
+        shards=1,
+    )
+
+
+def _cluster_cfg(**kw) -> ClusterFaultcheckConfig:
+    defaults = dict(seeds=1, nodes=3, num_shards=6, replication=2)
+    defaults.update(kw)
+    return ClusterFaultcheckConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Shard maps
+# ----------------------------------------------------------------------
+
+class TestShardMap:
+    def test_even_map_round_robin(self):
+        m = even_map(["a", "b", "c"], 6, replication=2)
+        assert m.epoch == 1
+        assert m.leader_of(0) == "a" and m.followers_of(0) == ("b",)
+        assert m.leader_of(1) == "b" and m.followers_of(1) == ("c",)
+        assert m.leader_of(5) == "c"
+        assert m.nodes() == ("a", "b", "c")
+        assert m.shards_led_by("a") == (0, 3)
+        assert set(m.shards_hosted_by("a")) == {0, 2, 3, 5}
+
+    def test_replication_clamped_to_node_count(self):
+        m = even_map(["a", "b"], 2, replication=5)
+        assert all(len(names) == 2 for names in m.replicas)
+
+    def test_transitions_bump_epoch(self):
+        m = even_map(["a", "b", "c"], 3, replication=3)
+        m2 = m.with_leader(0, "c")
+        assert m2.epoch == m.epoch + 1
+        assert m2.replicas[0] == ("c", "a", "b")
+        m3 = m2.without_node(0, "a")
+        assert m3.epoch == m2.epoch + 1
+        assert m3.replicas[0] == ("c", "b")
+
+    def test_with_moved_three_replicas(self):
+        m = even_map(["a", "b", "c"], 3, replication=3)
+        moved = m.with_moved(0, "a", "c")
+        # Target leads; the source stays on as a trailing follower
+        # because dropping it would shrink the replica list (a handoff
+        # commit never reduces the replication factor).
+        assert moved.replicas[0] == ("c", "b", "a")
+        assert moved.epoch == m.epoch + 1
+
+    def test_with_moved_to_outside_node(self):
+        m = even_map(["a", "b", "c"], 3, replication=2)
+        assert m.replicas[1] == ("b", "c")
+        moved = m.with_moved(1, "b", "a")
+        # Target was not a replica: it takes over, the follower stays,
+        # the source leaves — same replica count, no source retained.
+        assert moved.replicas[1] == ("a", "c")
+
+    def test_with_moved_preserves_replication_factor(self):
+        """Moving a shard onto its only follower must keep the source
+        as follower — it holds a full copy, and dropping it would
+        leave the shard one kill away from data loss."""
+        m = even_map(["a", "b", "c"], 3, replication=2)
+        assert m.replicas[0] == ("a", "b")
+        moved = m.with_moved(0, "a", "b")
+        assert moved.replicas[0] == ("b", "a")
+
+    def test_illegal_transitions(self):
+        m = even_map(["a", "b"], 2, replication=1)
+        with pytest.raises(ShardMapError):
+            m.with_leader(0, "b")  # not a replica
+        with pytest.raises(ShardMapError):
+            m.without_node(0, "a")  # would unreplicate
+        with pytest.raises(ShardMapError):
+            m.with_moved(1, "a", "b")  # a does not lead shard 1
+
+    def test_json_round_trip(self):
+        m = even_map(["a", "b", "c"], 4, replication=2)
+        assert ShardMap.from_json(m.to_json()) == m
+        with pytest.raises(ShardMapError):
+            ShardMap.from_json("{not json")
+        with pytest.raises(ShardMapError):
+            ShardMap.from_json('{"epoch": 1}')
+
+
+# ----------------------------------------------------------------------
+# Wire protocol: the four cluster ops
+# ----------------------------------------------------------------------
+
+class TestClusterProtocol:
+    def _round_trip(self, req: Request) -> Request:
+        return decode_request(encode_request(req))
+
+    def test_replicate_round_trip(self):
+        req = Request(
+            7, Op.REPLICATE, shard=3, seq=41, epoch=9,
+            value=b"\x00framed-record\xff",
+        )
+        out = self._round_trip(req)
+        assert (out.shard, out.seq, out.epoch) == (3, 41, 9)
+        assert bytes(out.value) == b"\x00framed-record\xff"
+
+    def test_repl_ack_round_trip(self):
+        out = self._round_trip(Request(8, Op.REPL_ACK, shard=5))
+        assert out.op is Op.REPL_ACK and out.shard == 5
+
+    @pytest.mark.parametrize(
+        "phase",
+        [
+            HANDOFF_BEGIN,
+            HANDOFF_CHUNK,
+            HANDOFF_TAIL_DONE,
+            HANDOFF_COMMIT,
+            HANDOFF_ABORT,
+            HANDOFF_PROMOTE,
+            HANDOFF_START,
+        ],
+    )
+    def test_handoff_round_trip_every_phase(self, phase):
+        req = Request(
+            9, Op.HANDOFF, phase=phase, shard=2, seq=13, epoch=4,
+            value=b"blob",
+        )
+        out = self._round_trip(req)
+        assert (out.phase, out.shard, out.seq, out.epoch) == (phase, 2, 13, 4)
+        assert bytes(out.value) == b"blob"
+
+    def test_cluster_status_round_trip(self):
+        out = self._round_trip(Request(10, Op.CLUSTER_STATUS))
+        assert out.op is Op.CLUSTER_STATUS
+
+    def test_replicate_ok_carries_applied_count(self):
+        resp = Response(7, Op.REPLICATE, Status.OK, count=41)
+        out = decode_response(encode_response(resp))
+        assert out.count == 41 and out.status is Status.OK
+
+
+# ----------------------------------------------------------------------
+# The shard-subset store
+# ----------------------------------------------------------------------
+
+class TestShardSubsetStore:
+    def _store(self, shard_ids, num_global=6):
+        return ShardSubsetStore(
+            {i: build_shard_store(_tiny_engine()) for i in shard_ids},
+            num_global=num_global,
+        )
+
+    def test_routes_by_global_hash(self):
+        store = self._store(range(6))
+        for key in range(50):
+            store.put(key, f"v{key}")
+        for key in range(50):
+            assert store.get(key) == f"v{key}"
+            assert store.shard_id_of(key) == shard_of(key, 6)
+
+    def test_unhosted_key_raises_not_owned(self):
+        hosted = {0, 1}
+        store = self._store(hosted)
+        key = next(k for k in range(100) if shard_of(k, 6) not in hosted)
+        with pytest.raises(NotOwnedError):
+            store.put(key, "x")
+        with pytest.raises(NotOwnedError):
+            store.get_batch([key])
+
+    def test_add_remove_shard(self):
+        store = self._store({0})
+        assert store.shard_ids == (0,)
+        fresh = build_shard_store(_tiny_engine())
+        store.add_shard(3, fresh)
+        assert store.owns(3)
+        key = next(k for k in range(100) if shard_of(k, 6) == 3)
+        store.put(key, "moved")
+        assert store.remove_shard(3) is fresh
+        with pytest.raises(NotOwnedError):
+            store.get(key)
+        with pytest.raises(ValueError):
+            store.remove_shard(3)
+
+    def test_get_batch_alignment(self):
+        store = self._store(range(6))
+        for key in range(40):
+            store.put(key, f"v{key}")
+        keys = [31, 2, 17, 999, 5, 2]
+        values = store.get_batch(keys)
+        assert values == ["v31", "v2", "v17", None, "v5", "v2"]
+
+
+# ----------------------------------------------------------------------
+# Follower bit-identity: shipped records replay exactly like a
+# standalone store's WAL
+# ----------------------------------------------------------------------
+
+class TestFollowerBitIdentity:
+    def test_follower_wal_and_reads_match_standalone(self):
+        """Apply the same batches to a leader (with a record sink, as
+        the cluster installs) and a standalone store; feed the captured
+        records to a follower via ``apply_wal_record``. The follower's
+        WAL must be byte-identical to the standalone's and every read
+        identical — including non-UTF-8 bytes values, which replication
+        must carry verbatim at the record layer."""
+        econf = _tiny_engine()
+        leader = build_shard_store(econf)
+        standalone = build_shard_store(econf)
+        follower = build_shard_store(econf)
+        shipped: list[bytes] = []
+        leader.wal.record_sink = (
+            lambda record, count, batch: shipped.append(record)
+        )
+        rng = random.Random(11)
+        model: dict[int, object] = {}
+        for group in range(12):
+            if group and rng.random() < 0.3:
+                key = rng.choice(sorted(model))
+                leader.delete(key)
+                standalone.delete(key)
+                model[key] = None
+                continue
+            batch = []
+            for _ in range(rng.randrange(1, 6)):
+                key = rng.randrange(32)
+                if rng.random() < 0.5:
+                    value = bytes([rng.randrange(256) for _ in range(6)])
+                else:
+                    value = f"g{group}-{key}"
+                batch.append((key, value))
+                model[key] = value
+            leader.put_batch(batch)
+            standalone.put_batch(batch)
+        assert shipped, "the record sink captured nothing"
+        for record in shipped:
+            follower.apply_wal_record(record)
+        assert bytes(follower.wal.data) == bytes(standalone.wal.data)
+        for key, value in model.items():
+            assert follower.get(key) == value
+            assert follower.get(key) == standalone.get(key)
+        assert follower.wal.appended == standalone.wal.appended
+
+    def test_reshipped_records_are_idempotent_on_a_live_follower(self):
+        """Cluster-level: re-shipping an already-applied seq must not
+        double-apply (the leader resends from the follower's reported
+        applied count after any hiccup)."""
+        async def run():
+            cluster = _LiveCluster(_cluster_cfg())
+            coordinator = await cluster.start()
+            try:
+                for key in range(20):
+                    await coordinator.put(key, f"v{key}")
+                # Find a shard with traffic and its follower.
+                name = cluster.names[0]
+                node = cluster.nodes[name]
+                shard_id, log = next(
+                    (s, log)
+                    for s, log in node.logs.items()
+                    if log.last_seq > 0
+                )
+                follower = node.map.followers_of(shard_id)[0]
+                fnode = cluster.nodes[follower]
+                before = fnode.applied[shard_id]
+                client = await node.peer(follower)
+                resp = await client.request(
+                    Request(
+                        client._rid(), Op.REPLICATE, shard=shard_id,
+                        seq=1, epoch=node.map.epoch, value=log.records[0],
+                    )
+                )
+                assert resp.status is Status.OK
+                assert resp.count == before  # no double apply
+                assert fnode.applied[shard_id] == before
+            finally:
+                await coordinator.close()
+                await cluster.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Staleness bounds
+# ----------------------------------------------------------------------
+
+class TestStalenessBound:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=30))
+    def test_replication_log_lag_accounting(self, acks):
+        """lag_of = records a follower is missing; ``since`` returns
+        exactly the lagging suffix, so shipped-then-acked always
+        converges to lag 0."""
+        log = ReplicationLog(0)
+        for i in range(20):
+            assert log.append(f"r{i}".encode()) == i + 1
+        for seq in acks:
+            log.ack("f", min(seq, log.last_seq))
+        lag = log.lag_of("f")
+        assert 0 <= lag <= log.last_seq
+        tail = log.since(log.acked.get("f", 0))
+        assert len(tail) == lag
+        assert [seq for seq, _ in tail] == list(
+            range(log.last_seq - lag + 1, log.last_seq + 1)
+        )
+        # Acks never regress.
+        high = log.acked.get("f", 0)
+        log.ack("f", high - 1)
+        assert log.acked.get("f", 0) == high
+
+    def test_acked_writes_leave_zero_lag_at_quiescence(self):
+        """With replication=2 every ack requires the follower to cover
+        the log tail — so after the last ack, every live follower's
+        applied count equals the leader's log: staleness bound 0 at
+        quiescence, and follower reads serve every acked write."""
+        async def run():
+            cluster = _LiveCluster(_cluster_cfg())
+            coordinator = await cluster.start()
+            try:
+                for key in range(30):
+                    await coordinator.put(key, f"v{key}")
+                for name, node in cluster.nodes.items():
+                    for shard_id, log in node.logs.items():
+                        for follower in node.live_followers_of(shard_id):
+                            applied = cluster.nodes[follower].applied[
+                                shard_id
+                            ]
+                            assert applied == log.last_seq, (
+                                f"{follower} lags {name}'s shard "
+                                f"{shard_id}: {applied}/{log.last_seq}"
+                            )
+                coordinator.read_mode = "follower"
+                for key in range(30):
+                    assert await coordinator.get(key) == f"v{key}".encode()
+            finally:
+                await coordinator.close()
+                await cluster.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Live cluster: failover and handoff
+# ----------------------------------------------------------------------
+
+class TestClusterLive:
+    def test_leader_kill_and_failover_keeps_acked_writes(self):
+        async def run():
+            cluster = _LiveCluster(_cluster_cfg())
+            coordinator = await cluster.start()
+            try:
+                for key in range(40):
+                    await coordinator.put(key, f"v{key}")
+                victim = coordinator.map.leader_of(0)
+                await cluster.kill(victim)
+                new_map = await coordinator.failover(victim)
+                assert victim not in new_map.nodes()
+                assert new_map.epoch > 1
+                for key in range(40):
+                    assert await coordinator.get(key) == f"v{key}".encode()
+                await coordinator.put(99, "after")
+                assert await coordinator.get(99) == b"after"
+            finally:
+                await coordinator.close()
+                await cluster.stop()
+
+        asyncio.run(run())
+
+    def test_live_handoff_moves_shard_without_losing_data(self):
+        async def run():
+            cluster = _LiveCluster(_cluster_cfg())
+            coordinator = await cluster.start()
+            try:
+                for key in range(40):
+                    await coordinator.put(key, f"v{key}")
+                source = coordinator.map.leader_of(2)
+                target = next(
+                    n for n in cluster.names
+                    if n != source
+                )
+                before = coordinator.map.epoch
+                new_map = await coordinator.rebalance(2, target)
+                assert new_map.epoch > before
+                assert new_map.leader_of(2) == target
+                # Source copy detached unless it must stay for
+                # replication factor; either way reads are served.
+                for key in range(40):
+                    assert await coordinator.get(key) == f"v{key}".encode()
+                await coordinator.put(7, "post-move")
+                assert await coordinator.get(7) == b"post-move"
+            finally:
+                await coordinator.close()
+                await cluster.stop()
+
+        asyncio.run(run())
+
+    def test_write_to_non_leader_bounces_with_refresh_signal(self):
+        async def run():
+            cluster = _LiveCluster(_cluster_cfg())
+            coordinator = await cluster.start()
+            try:
+                shard_id = 0
+                follower = coordinator.map.followers_of(shard_id)[0]
+                key = next(
+                    k for k in range(100)
+                    if shard_of(k, coordinator.map.num_shards) == shard_id
+                )
+                node = cluster.nodes[follower]
+                resp = node.route_check(
+                    Request(1, Op.PUT, key=key, value=b"x")
+                )
+                assert resp is not None and resp.status is Status.ERROR
+                assert resp.message.startswith("not leader")
+                assert f"epoch {node.map.epoch}" in resp.message
+            finally:
+                await coordinator.close()
+                await cluster.stop()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# The crash campaign (the 50-seed version is the CI gate; a smaller
+# rotation keeps tier-1 fast while still covering every crash point)
+# ----------------------------------------------------------------------
+
+class TestClusterFaultcheck:
+    def test_campaign_zero_violations(self):
+        cfg = ClusterFaultcheckConfig(seeds=8)
+        report = run_cluster_faultcheck(cfg)
+        assert report.ok, report.violations
+        assert report.crashes_injected == 8
+        assert report.failovers == 8
+        assert {r.point for r in report.results} == {
+            "cluster.replicate.before_send",
+            "cluster.replicate.before_ack",
+            "cluster.handoff.before_snapshot",
+            "cluster.handoff.mid_stream",
+            "cluster.handoff.before_commit",
+            "cluster.handoff.after_commit",
+            "cluster.promote.before_adopt",
+            "cluster.promote.after_adopt",
+        }
+
+
+# ----------------------------------------------------------------------
+# Launcher spec
+# ----------------------------------------------------------------------
+
+class TestClusterSpec:
+    def test_round_trip(self):
+        spec = ClusterSpec(
+            nodes={
+                "n0": {"host": "127.0.0.1", "port": 7651, "pid": 0},
+                "n1": {"host": "127.0.0.1", "port": 7652, "pid": 0},
+            },
+            map=even_map(["n0", "n1"], 4, replication=2).to_dict(),
+            engine={"buffer_entries": 8, "block_entries": 4},
+        )
+        again = ClusterSpec.from_dict(spec.to_dict())
+        assert again.addresses() == spec.addresses()
+        assert again.shard_map() == spec.shard_map()
+        assert again.commit_batch == spec.commit_batch

@@ -67,6 +67,31 @@ class TestCodecIdentity:
             assert fast_rare == ref.is_rare(ref_packed)
         assert fast_counter.snapshot() == ref_counter.snapshot()
 
+    def test_pack_fns_cover_every_frequent_combination(self):
+        """The compiled pack functions exist exactly where pack plans
+        do — a frequent combo missing its function would silently fall
+        back to the rare/overflow path and corrupt accounting."""
+        cb = ChuckyCodebook(DIST, slots=4, bucket_bits=36)
+        assert set(cb.fast.pack_fns) == set(cb.fast.pack_plans)
+
+    def test_pack_overflow_error_matches_reference_message(self):
+        """The fused single-guard overflow check must surface the same
+        FilterError (same message shape) the per-slot reference check
+        raised for an over-wide fingerprint."""
+        from repro.common.errors import FilterError
+
+        cb = ChuckyCodebook(DIST, slots=4, bucket_bits=36)
+        codec = BucketCodec(cb, CodecTables(cb))
+        combo = next(iter(cb.fast.pack_fns))
+        slots = [(lid, 0) for lid in combo]
+        lid0, flen0 = combo[0], cb.fp_length(combo[0])
+        slots[0] = (lid0, 1 << flen0)
+        with pytest.raises(FilterError, match="wider than") as exc:
+            codec.pack(list(slots))
+        assert f"for LID {lid0}" in str(exc.value) or "wider than" in str(
+            exc.value
+        )
+
 
 def _filter_workload(seed: int, ops: int = 800):
     """Drive one ChuckyFilter through a mixed op stream; return every

@@ -448,3 +448,124 @@ class TestObservability:
             assert {"serve_get", "serve_put", "group_commit"} <= names
 
         asyncio.run(main())
+
+
+class TestFusedGets:
+    """Consecutive pipelined GETs fuse into one ``store.get_batch``
+    dispatch — same answers, same per-key counted I/Os, fewer task
+    round-trips."""
+
+    @staticmethod
+    async def _burst(port, requests):
+        """Write all frames at once, then collect one response each."""
+        from repro.server.protocol import (
+            decode_response,
+            encode_request,
+            frame,
+            read_frame,
+        )
+
+        reader, writer = await asyncio.open_connection(HOST, port)
+        writer.write(b"".join(frame(encode_request(r)) for r in requests))
+        await writer.drain()
+        responses = {}
+        for _ in requests:
+            resp = decode_response(await read_frame(reader))
+            responses[resp.request_id] = resp
+        writer.close()
+        await writer.wait_closed()
+        return responses
+
+    def test_burst_fuses_and_answers_correctly(self):
+        async def main():
+            server, store, port = await start_server()
+            client = await AsyncClient.connect(HOST, port)
+            await client.put_batch([(k, f"v{k}") for k in range(32)])
+            await client.close()
+            requests = [
+                Request(100 + i, Op.GET, key=(i * 7) % 40) for i in range(24)
+            ]
+            responses = await self._burst(port, requests)
+            for i, req in enumerate(requests):
+                resp = responses[100 + i]
+                if req.key < 32:
+                    assert resp.status is Status.OK
+                    assert bytes(resp.value) == f"v{req.key}".encode()
+                else:
+                    assert resp.status is Status.NOT_FOUND
+            assert server.get_batches >= 1
+            assert server.batched_gets >= 2
+            stats = server.stats()["server"]
+            assert stats["get_batches"] == server.get_batches
+            assert stats["batched_gets"] == server.batched_gets
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_interleaved_write_breaks_fusion_but_all_ops_land(self):
+        async def main():
+            server, store, port = await start_server()
+            client = await AsyncClient.connect(HOST, port)
+            await client.put(5, "five")
+            requests = [
+                Request(2, Op.GET, key=5),
+                Request(3, Op.GET, key=99),
+                Request(4, Op.PUT, key=6, value=b"six"),
+                Request(5, Op.GET, key=5),
+            ]
+            responses = await self._burst(port, requests)
+            assert bytes(responses[2].value) == b"five"
+            assert responses[3].status is Status.NOT_FOUND
+            assert responses[4].status is Status.OK
+            assert bytes(responses[5].value) == b"five"
+            # The PUT that broke the fusion run was still applied.
+            assert await client.get(6) == b"six"
+            await client.close()
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_counted_ios_identical_with_and_without_fusion(self):
+        async def main():
+            keys = [(i * 11) % 48 for i in range(32)]
+            observed = []
+            for fuse in (1, 32):
+                server, store, port = await start_server(
+                    server_config=ServerConfig(fuse_gets=fuse)
+                )
+                client = await AsyncClient.connect(HOST, port)
+                await client.put_batch([(k, f"v{k}") for k in range(48)])
+                await client.close()
+                def io_state():
+                    return (
+                        sum(s.counters.storage.reads for s in store.shards),
+                        sum(s.counters.memory.total for s in store.shards),
+                    )
+
+                before = io_state()
+                requests = [
+                    Request(200 + i, Op.GET, key=key)
+                    for i, key in enumerate(keys)
+                ]
+                responses = await self._burst(port, requests)
+                values = tuple(
+                    bytes(responses[200 + i].value) for i in range(len(keys))
+                )
+                after = io_state()
+                observed.append(
+                    (
+                        values,
+                        after[0] - before[0],
+                        after[1] - before[1],
+                        server.get_batches,
+                    )
+                )
+                await server.drain()
+            (ref_vals, ref_reads, ref_mem, ref_batches) = observed[0]
+            (fus_vals, fus_reads, fus_mem, fus_batches) = observed[1]
+            assert ref_batches == 0 and fus_batches >= 1
+            assert fus_vals == ref_vals
+            assert fus_reads == ref_reads
+            assert fus_mem == ref_mem
+
+        asyncio.run(main())
