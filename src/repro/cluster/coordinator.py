@@ -15,8 +15,11 @@ normally landed.
 Leader *death* is detected as a connection failure and handled by
 :meth:`failover`: probe every surviving node's CLUSTER_STATUS, and for
 each shard the dead node led, promote the most-caught-up surviving
-follower (highest applied replication seq). Followers whose applied seq
-is behind the winner's are dropped from that shard's replica list —
+follower — highest applied replication seq *among followers at the
+highest reported map epoch*, because seqs are epoch-scoped and a count
+reported at an older epoch is incomparable (and possibly inflated).
+Followers whose epoch or applied seq is behind the winner's are
+dropped from that shard's replica list —
 their copies miss records the winner holds, and per-epoch replication
 seqs cannot splice logs across terms — so the post-failover map only
 names provably complete replicas. The new map broadcasts as
@@ -182,7 +185,16 @@ class ClusterCoordinator:
             if resp.status in (Status.OK, Status.NOT_FOUND):
                 return resp
             message = resp.message or resp.status.name
-            if resp.status is Status.BUSY:
+            if resp.status is Status.BUSY or (
+                resp.status is Status.ERROR
+                and "replication unavailable" in message
+            ):
+                # BUSY: a shard mid-handoff parking writes. Replication
+                # unavailable: the leader failed the group that watched
+                # its last live follower die (never acked, so a retry
+                # cannot duplicate an acknowledgement); the next round
+                # runs against the post-death live set, or a refreshed
+                # map routes us to the shard's real leader.
                 last = message
                 await asyncio.sleep(self.retry_delay)
                 await self.refresh_map()
@@ -300,7 +312,7 @@ class ClusterCoordinator:
                 if names[0] != dead:
                     names.remove(dead)
                     continue
-                candidates: list[tuple[int, str]] = []
+                candidates: list[tuple[int, int, str]] = []
                 for follower in names[1:]:
                     status = statuses.get(follower)
                     if status is None:
@@ -308,19 +320,29 @@ class ClusterCoordinator:
                     info = status["shards"].get(str(shard_id))
                     if info is None:
                         continue
-                    candidates.append((int(info["seq"]), follower))
+                    epoch = int(info.get("epoch", status["epoch"]))
+                    candidates.append((epoch, int(info["seq"]), follower))
                 if not candidates:
                     raise ClusterError(
                         f"shard {shard_id} is unrecoverable: leader "
                         f"{dead!r} died with no reachable follower"
                     )
-                candidates.sort(key=lambda c: (-c[0], c[1]))
-                top_seq, winner = candidates[0]
+                # Applied seqs are epoch-scoped, so a count reported at
+                # an older map epoch is not comparable — a follower
+                # stuck on an old epoch (missed a best-effort map push)
+                # carries a stale, possibly inflated count. Elect only
+                # among followers at the highest reported epoch; the
+                # rest are dropped with the behind ones below.
+                top_epoch = max(epoch for epoch, _, _ in candidates)
+                candidates = [c for c in candidates if c[0] == top_epoch]
+                candidates.sort(key=lambda c: (-c[1], c[2]))
+                _, top_seq, winner = candidates[0]
                 winners.add(winner)
-                # Equal-applied followers stay; behind ones are dropped
-                # (their logs miss records the winner acked).
+                # Equal-applied same-epoch followers stay; behind ones
+                # are dropped (their logs miss records the winner
+                # acked).
                 replicas[shard_id] = [winner] + [
-                    f for seq, f in candidates[1:] if seq == top_seq
+                    f for _, seq, f in candidates[1:] if seq == top_seq
                 ]
             new_map = ShardMap(
                 epoch=base.epoch + 1,

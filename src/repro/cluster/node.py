@@ -260,9 +260,10 @@ class ClusterNode:
         client = await self.peer(follower)
         applied = log.acked.get(follower, 0)
         rounds = 0
+        pushed_map = False
         while applied < log.last_seq:
             rounds += 1
-            if rounds > 3:
+            if rounds > 4:
                 raise ReplicationError(
                     f"follower {follower!r} cannot converge on shard "
                     f"{shard_id} (applied {applied} of {log.last_seq})"
@@ -279,9 +280,22 @@ class ClusterNode:
                     )
                 )
                 if resp.status is not Status.OK:
+                    message = resp.message or resp.status.name
+                    if message.startswith("behind epoch") and not pushed_map:
+                        # The follower missed a best-effort map
+                        # broadcast (tolerated by broadcast_map /
+                        # failover for non-winners). Push our map, then
+                        # resume from its *post-adoption* applied count
+                        # — its old-epoch count is untrusted and
+                        # adopt_map resets it when the leader changed.
+                        pushed_map = True
+                        applied = await self._push_map_to(
+                            client, follower, shard_id
+                        )
+                        break
                     raise ReplicationError(
                         f"follower {follower!r} rejected shard {shard_id} "
-                        f"seq {seq}: {resp.message or resp.status.name}"
+                        f"seq {seq}: {message}"
                     )
                 applied = resp.count
                 if applied < seq:
@@ -289,17 +303,62 @@ class ClusterNode:
         log.ack(follower, applied)
         return applied
 
+    async def _push_map_to(
+        self, client: AsyncClient, follower: str, shard_id: int
+    ) -> int:
+        """Hand a behind follower the current map, then return its
+        authoritative applied count for ``shard_id`` at that epoch."""
+        blob = self.map.to_json().encode("utf-8")
+        resp = await client.request(
+            Request(
+                client._rid(), Op.HANDOFF, phase=HANDOFF_PROMOTE,
+                epoch=self.map.epoch, value=blob,
+            )
+        )
+        if resp.status is not Status.OK:
+            raise ReplicationError(
+                f"follower {follower!r} refused map epoch "
+                f"{self.map.epoch}: {resp.message or resp.status.name}"
+            )
+        ack = await client.request(
+            Request(client._rid(), Op.REPL_ACK, shard=shard_id)
+        )
+        if ack.status is not Status.OK:
+            raise ReplicationError(
+                f"follower {follower!r} lost shard {shard_id} after map "
+                f"adoption: {ack.message or ack.status.name}"
+            )
+        return ack.count
+
     # ------------------------------------------------------------------
     # Follower side: the four cluster ops
     # ------------------------------------------------------------------
 
     def handle_replicate(self, request: Request) -> Response:
+        # Applied counters (and the leader's log seqs they answer) are
+        # scoped to a map epoch, so a count is only meaningful to a
+        # leader at the *same* epoch — an OK here asserts exactly that,
+        # because the epoch check and the count are produced atomically
+        # within this handler. Both mismatch directions must bounce: a
+        # stale *sender* is a deposed leader that may not ack anything,
+        # and a stale *receiver* (this node missed a best-effort map
+        # broadcast) would otherwise answer with its old-epoch applied
+        # count, which the new leader would mistake for coverage of its
+        # fresh log.
         rid, op = request.request_id, request.op
         if request.epoch < self.map.epoch:
             return Response(
                 rid, op, Status.ERROR,
                 message=(
                     f"stale epoch {request.epoch} < {self.map.epoch}"
+                ),
+            )
+        if request.epoch > self.map.epoch:
+            return Response(
+                rid, op, Status.ERROR,
+                message=(
+                    f"behind epoch: request epoch {request.epoch} > "
+                    f"local {self.map.epoch}"
                 ),
             )
         shard_id = request.shard
@@ -383,6 +442,29 @@ class ClusterNode:
                 new_map = ShardMap.from_json(bytes(request.value))
             except ShardMapError as exc:
                 return Response(rid, op, Status.ERROR, message=str(exc))
+            if (
+                new_map.epoch <= self.map.epoch
+                or new_map.num_shards != self.map.num_shards
+            ):
+                return Response(
+                    rid, op, Status.ERROR,
+                    message=(
+                        f"refusing commit map epoch {new_map.epoch} "
+                        f"(at {self.map.epoch})"
+                    ),
+                )
+            if (
+                new_map.leader_of(shard_id) == self.name
+                and shard_id not in self.staging
+            ):
+                # Without a staged store, adopting this map would seize
+                # leadership of a shard we hold no data for — exactly
+                # what a COMMIT that raced an ABORT (torn-commit
+                # resolution at the source) would otherwise do.
+                return Response(
+                    rid, op, Status.ERROR,
+                    message=f"no staging for shard {shard_id}",
+                )
             stage = self.staging.pop(shard_id, None)
             if stage is not None and new_map.leader_of(shard_id) == self.name:
                 # Build-then-swap lands: the caught-up staging store
@@ -494,6 +576,7 @@ class ClusterNode:
         await self._handoff_req(
             client, HANDOFF_BEGIN, shard_id, epoch=self.map.epoch
         )
+        in_commit = False
         try:
             crash_point("cluster.handoff.before_snapshot")
             with self.obs.tracer.span("repl_handoff_snapshot", shard=shard_id):
@@ -509,9 +592,10 @@ class ClusterNode:
                 )
                 crash_point("cluster.handoff.mid_stream")
             # Park new writes (they bounce BUSY — never acknowledged,
-            # so nothing can be lost) and let in-flight groups land.
+            # so nothing can be lost) and let the shard's in-flight
+            # groups land.
             self.migrating_out.add(shard_id)
-            await self._drain_commits()
+            await self._drain_commits(shard_id)
             for _tseq, record in log.since(tail_from):
                 seq += 1
                 await self._handoff_req(
@@ -523,11 +607,49 @@ class ClusterNode:
             crash_point("cluster.handoff.before_commit")
             new_map = self.map.with_moved(shard_id, self.name, target)
             blob = new_map.to_json().encode("utf-8")
+            in_commit = True
             await self._handoff_req(
                 client, HANDOFF_COMMIT, shard_id,
                 epoch=new_map.epoch, value=blob,
             )
-        except BaseException:
+        except ClusterError:
+            # The target *answered* (a rejection is an answer), so even
+            # a bounced COMMIT provably did not land: safe to abort the
+            # staging and resume leadership.
+            self.migrating_out.discard(shard_id)
+            try:
+                await self._handoff_req(client, HANDOFF_ABORT, shard_id)
+            except Exception:  # noqa: BLE001 — target may be gone
+                pass
+            raise
+        except BaseException as exc:
+            if in_commit:
+                # The COMMIT send died without an answer: the target
+                # may already be authoritative. Resuming blindly here
+                # would let this node keep acking writes the cluster
+                # routes to the target once anyone sees its higher
+                # epoch — resolve the outcome instead.
+                committed = await self._torn_commit_outcome(
+                    shard_id, target, new_map
+                )
+                if committed:
+                    self.migrating_out.discard(shard_id)
+                    self.adopt_map(new_map)
+                    await self.broadcast_map(new_map, exclude=(target,))
+                    return new_map
+                if committed is None:
+                    # Unknown: the shard stays parked (writes keep
+                    # bouncing BUSY — never falsely acked) until a
+                    # retried handoff or an operator resolves it.
+                    raise ClusterError(
+                        f"handoff of shard {shard_id} torn at commit: "
+                        f"target {target!r} unreachable, outcome unknown "
+                        f"— shard stays parked"
+                    ) from exc
+                # Provably not committed (and, staging destroyed, it
+                # never can be): resume leadership.
+                self.migrating_out.discard(shard_id)
+                raise
             self.migrating_out.discard(shard_id)
             try:
                 await self._handoff_req(client, HANDOFF_ABORT, shard_id)
@@ -567,10 +689,77 @@ class ClusterNode:
             )
         return resp
 
-    async def _drain_commits(self) -> None:
+    async def _torn_commit_outcome(
+        self, shard_id: int, target: str, new_map: ShardMap
+    ) -> bool | None:
+        """Learn whether a torn HANDOFF_COMMIT landed at the target.
+
+        Freeze first, then read: an ABORT on a fresh connection
+        destroys the target's staging, and the commit handler refuses
+        a map that names the target leader without staging — so a
+        COMMIT frame still buffered on the dead connection can no
+        longer apply after our ABORT is processed. One status probe on
+        the *same* connection (requests are strictly sequential: each
+        awaits its response) then reads the frozen outcome.
+
+        True = the commit landed (the target leads the shard at the
+        new epoch or beyond); False = it provably did not and never
+        can; None = the target never answered, outcome unknown.
+        """
+        for attempt in range(5):
+            if attempt:
+                await asyncio.sleep(0.05)
+            self._drop_peer(target)
+            try:
+                client = await self.peer(target)
+                await client.request(
+                    Request(
+                        client._rid(), Op.HANDOFF,
+                        phase=HANDOFF_ABORT, shard=shard_id,
+                    )
+                )
+                resp = await client.request(
+                    Request(client._rid(), Op.CLUSTER_STATUS)
+                )
+                if resp.status is not Status.OK:
+                    continue
+                status = json.loads(bytes(resp.value))
+            except Exception:  # noqa: BLE001 — any failure = retry
+                self._drop_peer(target)
+                continue
+            if status["epoch"] < new_map.epoch:
+                return False
+            observed = ShardMap.from_dict(status["map"])
+            if observed.leader_of(shard_id) == target:
+                return True
+            # A map newer than ours moved the shard somewhere else:
+            # this node's claim is stale either way — treat as
+            # unresolved and keep the shard parked.
+            return None
+        return None
+
+    async def _drain_commits(self, shard_id: int) -> None:
+        """Wait out the migrating shard's queued and in-flight group-
+        commit writes. Scoped to that shard on purpose: only its
+        writes bounce BUSY while parked, so draining the *global*
+        queue would stall the handoff for as long as other shards this
+        node leads keep taking traffic. The shard's own write set is
+        finite once parked (route_check rejects new ones), so this
+        terminates under sustained foreign load."""
         commit = self.server.commit
-        while commit.queue_depth or commit.active:
-            await asyncio.sleep(0.005)
+        is_ours = lambda key: self.store.shard_id_of(key) == shard_id  # noqa: E731
+        empty_passes = 0
+        while empty_passes < 2:
+            waiters = commit.waiters_for(is_ours)
+            if not waiters:
+                # One extra scheduling round: a handler that cleared
+                # route_check just before the park may not have
+                # enqueued its write yet.
+                empty_passes += 1
+                await asyncio.sleep(0)
+                continue
+            empty_passes = 0
+            await asyncio.wait(waiters)
 
     async def broadcast_map(
         self, new_map: ShardMap, exclude: tuple[str, ...] = ()
@@ -655,6 +844,9 @@ class ClusterNode:
                 shards[str(shard_id)] = {
                     "role": "leader",
                     "seq": log.last_seq,
+                    # Seqs are epoch-scoped: consumers (failover
+                    # election) must only compare same-epoch seqs.
+                    "epoch": self.map.epoch,
                     "followers": {
                         f: log.acked.get(f, 0)
                         for f in self.map.followers_of(shard_id)
@@ -665,6 +857,7 @@ class ClusterNode:
                 shards[str(shard_id)] = {
                     "role": "follower",
                     "seq": self.applied.get(shard_id, 0),
+                    "epoch": self.map.epoch,
                 }
         return {
             "node": self.name,

@@ -15,9 +15,18 @@ loop and apply path untouched and overrides only the ``_finish`` seam:
 after a group is durable and applied on the leader, its captured
 records ship to followers and the client futures resolve **only after
 the acks come back** — "acked ⇒ durable beyond the leader". A group
-whose records could not reach a single live follower fails its
-waiters (the writes are durable locally but were never acknowledged,
-so the invariant is preserved in the safe direction).
+whose records could not reach a single follower that was live *when
+the round began* fails its waiters (the writes are durable locally but
+were never acknowledged, so the invariant is preserved in the safe
+direction); the pre-round snapshot matters, because the round that
+marks the last follower dead must itself fail rather than resolve
+against the now-empty live set.
+
+Degraded mode is explicit, not accidental: once every follower of a
+shard has been marked dead, later groups ack **single-copy** (there is
+nobody left to wait for) — the ``cluster_dead_followers`` gauge and
+each shard's ``dead_followers`` status field surface this, and the
+condition persists until an operator restores a replica via handoff.
 
 Replication sequences are per-shard, per-*epoch* counters: every
 shard-map change that re-homes a shard resets them, because a new
@@ -71,8 +80,12 @@ class ReplicationLog:
         ]
 
     def ack(self, follower: str, seq: int) -> None:
-        if seq > self.acked.get(follower, 0):
-            self.acked[follower] = seq
+        """Record the follower's contiguous applied count as reported
+        by an epoch-matched response. Authoritative, not monotone: a
+        follower that adopted a newer map may have reset its counter,
+        and keeping an inflated ack would skip records it never held.
+        """
+        self.acked[follower] = seq
 
     def lag_of(self, follower: str) -> int:
         return self.last_seq - self.acked.get(follower, 0)
@@ -172,11 +185,22 @@ class ReplicatedGroupCommitWriter(GroupCommitWriter):
                 ):
                     pass
                 for shard_id in touched:
+                    # Snapshot the live set *before* shipping: the ship
+                    # round that discovers the last follower's death
+                    # must fail this group (its waiters were promised
+                    # "durable beyond the leader" against that set),
+                    # not resolve OK because the set it emptied is now
+                    # consulted empty.
+                    live_before = self._followers_of(shard_id)
                     acks = await self._ship(shard_id)
-                    if not acks and self._followers_of(shard_id):
+                    if not acks and live_before:
+                        # The "replication unavailable" prefix is the
+                        # coordinator's retry cue (like BUSY): the next
+                        # round runs against the post-death live set.
                         raise ReplicationError(
-                            f"no follower of shard {shard_id} acknowledged "
-                            f"the group"
+                            f"replication unavailable: no live follower "
+                            f"of shard {shard_id} acknowledged the group "
+                            f"(had {list(live_before)})"
                         )
                 crash_point("cluster.replicate.before_ack")
             except Exception as exc:  # noqa: BLE001 — waiters must learn

@@ -64,6 +64,11 @@ class GroupCommitWriter:
         #: is in neither ``queue_depth`` nor the store yet, so drain
         #: loops must wait for both to clear.
         self.active = False
+        #: The group currently mid apply/finish (None when idle);
+        #: lets scoped drains (shard handoff) find in-flight waiters.
+        self.inflight: list[
+            tuple[int, Any, asyncio.Future, tuple[int, int] | None]
+        ] | None = None
         #: Lifetime totals (also exported as metrics when obs is on).
         self.batches = 0
         self.items = 0
@@ -95,6 +100,18 @@ class GroupCommitWriter:
     def queue_depth(self) -> int:
         """Writes submitted but not yet applied."""
         return len(self._pending)
+
+    def waiters_for(self, pred) -> list[asyncio.Future]:
+        """Unresolved futures of queued or in-flight writes whose key
+        satisfies ``pred`` — a point-in-time view for scoped drains."""
+        items = list(self._pending)
+        if self.inflight:
+            items += self.inflight
+        return [
+            future
+            for key, _value, future, _trace in items
+            if not future.done() and pred(key)
+        ]
 
     async def submit(
         self, key: int, value: Any, trace: tuple[int, int] | None = None
@@ -157,6 +174,7 @@ class GroupCommitWriter:
             if not group:
                 continue
             self.active = True
+            self.inflight = group
             try:
                 if self._apply(group):
                     # Base class: resolves synchronously (the coroutine
@@ -167,6 +185,7 @@ class GroupCommitWriter:
                     await self._finish(group)
             finally:
                 self.active = False
+                self.inflight = None
 
     def _apply(
         self,
