@@ -128,6 +128,11 @@ class CuckooLidFilterBase(ABC):
             "chucky_aht_spills_total",
             "inserts whose eviction walk failed and fell back to the AHT",
         )
+        self._m_maintenance_misses = registry.counter(
+            "chucky_maintenance_misses",
+            "LID updates/removes that matched no slot — each one leaves a "
+            "stale fingerprint behind (unbounded FPR drift); must stay 0",
+        )
 
     # -- representation hooks (no I/O accounting inside) -----------------
 
@@ -327,6 +332,7 @@ class CuckooLidFilterBase(ABC):
         if self._update_in_aht(b1, b2, old_slot, new_slot):
             return True
         self.maintenance_misses += 1
+        self._m_maintenance_misses.inc()
         return False
 
     def remove(self, key: int, lid: int) -> bool:
@@ -347,6 +353,7 @@ class CuckooLidFilterBase(ABC):
             self.num_entries -= 1
             return True
         self.maintenance_misses += 1
+        self._m_maintenance_misses.inc()
         return False
 
     def _update_in_aht(

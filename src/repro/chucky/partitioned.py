@@ -85,9 +85,12 @@ class PartitionedChuckyFilter:
             for i in range(num_partitions)
         ]
 
+    def partition_index(self, key: int) -> int:
+        """Which partition owns ``key`` (stable across restarts)."""
+        return key_digest(key, seed=_PARTITION_SEED) % len(self.partitions)
+
     def _partition_of(self, key: int) -> ChuckyFilter:
-        index = key_digest(key, seed=_PARTITION_SEED) % len(self.partitions)
-        return self.partitions[index]
+        return self.partitions[self.partition_index(key)]
 
     # -- ChuckyFilter interface ------------------------------------------
 

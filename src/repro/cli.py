@@ -87,6 +87,7 @@ from repro.obs import (
     render_json,
     render_prometheus,
 )
+from repro.workloads.generators import WORKLOAD_KINDS
 
 
 def _add_geometry(parser: argparse.ArgumentParser) -> None:
@@ -1167,7 +1168,8 @@ def build_parser() -> argparse.ArgumentParser:
         "tune", help="replay a drift scenario with adaptive tuning"
     )
     p_tune.add_argument("--scenario",
-                        choices=("grow-n", "phase-shift", "skew-shift"),
+                        choices=("grow-n", "phase-shift", "skew-shift",
+                                 "delete-churn"),
                         default="grow-n")
     p_tune.add_argument("--preset", choices=("leveled", "tiered", "lazy"),
                         default="leveled",
@@ -1200,7 +1202,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--port", type=int, default=7411)
     p_lg.add_argument("--connections", type=int, default=8)
     p_lg.add_argument("--ops", type=int, default=5000)
-    p_lg.add_argument("--workload", choices=("uniform", "zipf", "ycsb-b"),
+    p_lg.add_argument("--workload", choices=WORKLOAD_KINDS,
                       default="ycsb-b")
     p_lg.add_argument("--key-space", type=int, default=2000)
     p_lg.add_argument("--read-fraction", type=float, default=0.95)

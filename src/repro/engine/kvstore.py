@@ -25,7 +25,7 @@ from repro.faults.crashpoints import crash_point
 from repro.filters.policy import FilterPolicy, NoFilterPolicy
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.config import LSMConfig
-from repro.lsm.entry import TOMBSTONE, Entry
+from repro.lsm.entry import TOMBSTONE, Entry, Expiring
 from repro.lsm.memtable import Memtable
 from repro.lsm.storage import StorageDevice
 from repro.lsm.tree import LSMTree, RunManifest
@@ -58,6 +58,11 @@ class CrashState:
     manifest: list[RunManifest]
     wal_data: bytes
     filter_blob: bytes | None
+    #: Modelled clock at crash time. Recovery resumes the TTL clock from
+    #: here so expiry stamps stay monotone across restarts — a recovered
+    #: store's counters restart at zero, and without the floor every
+    #: in-flight TTL would spring back to life.
+    clock_ns: int = 0
 
 
 @dataclass(frozen=True)
@@ -143,6 +148,10 @@ class KVStore:
         self.memtable = Memtable(self.config.buffer_entries, self.counters.memory)
         self.wal = WriteAheadLog() if durable else None
         self._seqno = 0
+        #: TTL clock floor: the modelled time already elapsed in prior
+        #: incarnations of this store (nonzero only after recovery).
+        self._clock_floor = 0
+        self.tree.clock = self.now_ns
         self.queries = 0
         self.updates = 0
         self.false_positives = 0
@@ -181,6 +190,12 @@ class KVStore:
         return self.cost_model.total_cost(
             counters.memory.total, counters.storage.reads, counters.storage.writes
         )
+
+    def now_ns(self) -> int:
+        """The TTL clock (absolute modelled ns): monotone across crash/
+        recover because recovery carries the floor forward. Reading it
+        counts no I/Os, so TTL checks never perturb the I/O accounting."""
+        return self._clock_floor + int(self._modelled_ns())
 
     def _register_instruments(self) -> None:
         registry = self.obs.registry
@@ -252,8 +267,18 @@ class KVStore:
     # Writes
     # ------------------------------------------------------------------
 
-    def put(self, key: int, value: Any) -> None:
-        """Insert or update a key."""
+    def put(self, key: int, value: Any, ttl: int | None = None) -> None:
+        """Insert or update a key.
+
+        ``ttl`` (modelled ns, ``None`` = never expires) makes the write
+        a TTL write: past ``now_ns() + ttl`` the key reads as absent and
+        the version is reclaimed lazily at merge time like a purged
+        tombstone (its filter fingerprint dropping with it). ``ttl <= 0``
+        is legal and deterministically already-expired. Without ``ttl``
+        this path is byte-for-byte the pre-TTL one.
+        """
+        if ttl is not None:
+            value = Expiring(value, self.now_ns() + int(ttl))
         if not self._obs_on:
             self._put_impl(key, value)
         else:
@@ -272,6 +297,8 @@ class KVStore:
         if self.wal is not None:
             self.wal.append_put(key, value, self._seqno)
             crash_point("kvstore.put.after_wal")
+            if type(value) is Expiring:
+                crash_point("kvstore.put_ttl.after_wal")
         self.memtable.put(key, value, self._seqno)
         self.updates += 1
 
@@ -286,7 +313,11 @@ class KVStore:
             self._m_writes.inc()
             self._m_write_latency.observe(self._modelled_ns() - start)
         if self._tuning is not None:
-            self._tuning.on_write(1)
+            hook = getattr(self._tuning, "on_delete", None)
+            if hook is not None:
+                hook(1)
+            else:
+                self._tuning.on_write(1)
 
     def _delete_impl(self, key: int) -> None:
         if self.memtable.is_full:
@@ -397,15 +428,24 @@ class KVStore:
                 for entry in run.read_all():
                     cur = best.get(entry.key)
                     if cur is None or entry.seqno > cur[1]:
-                        best[entry.key] = (entry.value, entry.seqno)
+                        best[entry.key] = (self._export_value(entry), entry.seqno)
         for entry in self.memtable.sorted_entries():
             cur = best.get(entry.key)
             if cur is None or entry.seqno > cur[1]:
-                best[entry.key] = (entry.value, entry.seqno)
+                best[entry.key] = (self._export_value(entry), entry.seqno)
         return [
             (key, value, seqno)
             for key, (value, seqno) in sorted(best.items())
         ]
+
+    @staticmethod
+    def _export_value(entry: Entry) -> Any:
+        """Re-wrap a TTL entry for the wire: the handoff snapshot rides
+        the WAL batch codec, whose Expiring kind carries the stamp, so
+        the importing shard's ``memtable.put`` restores it exactly."""
+        if entry.expires_at is not None and not entry.is_tombstone:
+            return Expiring(entry.value, entry.expires_at)
+        return entry.value
 
     def flush(self) -> None:
         """Force the memtable into the tree (normally automatic)."""
@@ -461,6 +501,7 @@ class KVStore:
             manifest=self.tree.committed_manifest(),
             wal_data=bytes(self.wal.data),
             filter_blob=blob,
+            clock_ns=self.now_ns(),
         )
 
     @classmethod
@@ -511,6 +552,11 @@ class KVStore:
             max_seqno = max(max_seqno, seqno)
         store.wal = wal
         store._seqno = max(max_seqno, store._highest_stored_seqno())
+        # Resume the TTL clock where the crashed incarnation left it —
+        # recovery's own counted work (filter rebuild, WAL replay) has
+        # already advanced _modelled_ns past zero, so the floor keeps
+        # the clock monotone rather than exactly continuous.
+        store._clock_floor = state.clock_ns
         return store
 
     def _recover_filter(self, state: CrashState) -> None:
@@ -590,7 +636,8 @@ class KVStore:
         with tracer.span("memtable_probe"):
             entry = self.memtable.get(key)
         if entry is not None:
-            return ReadResult(self._value_of(entry), not entry.is_tombstone, 0, 0)
+            value = self._value_of(entry)
+            return ReadResult(value, value is not None, 0, 0)
         occupied = self.tree.occupied_runs()
         false_positives = 0
         probed = 0
@@ -610,11 +657,12 @@ class KVStore:
                     fspan.set(
                         false_positives=false_positives, runs_probed=probed
                     )
+                    # An expired version, like a tombstone, *stops* the
+                    # search (it shadows anything older) and answers
+                    # absent — same probes, same counted I/Os.
+                    value = self._value_of(found)
                     return ReadResult(
-                        self._value_of(found),
-                        not found.is_tombstone,
-                        false_positives,
-                        probed,
+                        value, value is not None, false_positives, probed
                     )
                 false_positives += 1
             fspan.set(false_positives=false_positives, runs_probed=probed)
@@ -695,12 +743,20 @@ class KVStore:
                 best[entry.key] = entry
         for key in sorted(best):
             entry = best[key]
-            if not entry.is_tombstone:
-                yield key, entry.value
+            value = self._value_of(entry)
+            if value is not None:
+                yield key, value
 
-    @staticmethod
-    def _value_of(entry: Entry) -> Any:
-        return None if entry.is_tombstone else entry.value
+    def _value_of(self, entry: Entry) -> Any:
+        """Resolve an entry to what the user sees: ``None`` for a
+        tombstone *or* an expired TTL version (both shadow anything
+        older). The expiry check reads the modelled clock only — it
+        counts no I/Os, and entries without a stamp never consult it."""
+        if entry.is_tombstone:
+            return None
+        if entry.expires_at is not None and entry.expires_at <= self.now_ns():
+            return None
+        return entry.value
 
     # ------------------------------------------------------------------
     # Instrumentation

@@ -143,15 +143,19 @@ class ShardedKVStore:
     # Writes
     # ------------------------------------------------------------------
 
-    def put(self, key: int, value: Any) -> None:
-        self.shard_for(key).put(key, value)
+    def put(self, key: int, value: Any, ttl: int | None = None) -> None:
+        self.shard_for(key).put(key, value, ttl=ttl)
         if self._tuning is not None:
             self._tuning.on_write(1)
 
     def delete(self, key: int) -> None:
         self.shard_for(key).delete(key)
         if self._tuning is not None:
-            self._tuning.on_write(1)
+            hook = getattr(self._tuning, "on_delete", None)
+            if hook is not None:
+                hook(1)
+            else:
+                self._tuning.on_write(1)
 
     def put_batch(self, items: list[tuple[int, Any]]) -> None:
         """Buffer a batch, grouped so each shard's memtable and WAL are

@@ -195,22 +195,37 @@ class FaultcheckReport:
 _KEY_SPACE = 32  # small on purpose: overwrites, deletes and re-puts collide
 
 
+#: TTL attached to the harness's TTL'd puts: far past any modelled
+#: clock the run can reach, so the reference model treats them as plain
+#: puts while the WAL still round-trips the TTL value-kinds (str *and*
+#: non-UTF-8 bytes) and the ``kvstore.put_ttl.after_wal`` crash point
+#: becomes reachable.
+_FAR_TTL = 1 << 60
+
+
 def make_workload(seed: int, ops: int) -> list[tuple]:
-    """A deterministic op list: puts (str *and* non-UTF-8 bytes values),
-    deletes, atomic batches (with embedded tombstones), reads, and the
-    occasional explicit flush. The final op is always a put of a
-    non-UTF-8 ``bytes`` value, so a crash at end-of-workload always has
-    a bytes record in the WAL tail — the exact payload the original
-    replay bug corrupted."""
+    """A deterministic op list: puts (str *and* non-UTF-8 bytes values,
+    some TTL'd with a far-future expiry), deletes, atomic batches (with
+    embedded tombstones), reads, and the occasional explicit flush. The
+    final op is always a put of a non-UTF-8 ``bytes`` value, so a crash
+    at end-of-workload always has a bytes record in the WAL tail — the
+    exact payload the original replay bug corrupted."""
     rng = random.Random(f"workload:{seed}")
     workload: list[tuple] = []
     for _ in range(max(1, ops - 1)):
         roll = rng.random()
         key = rng.randrange(_KEY_SPACE)
         if roll < 0.40:
-            workload.append(("put", key, f"s{seed}-{rng.randrange(1000)}"))
+            value = f"s{seed}-{rng.randrange(1000)}"
+            if rng.random() < 0.25:
+                workload.append(("put_ttl", key, value, _FAR_TTL))
+            else:
+                workload.append(("put", key, value))
         elif roll < 0.55:
-            workload.append(("put", key, _raw_bytes(rng)))
+            if rng.random() < 0.25:
+                workload.append(("put_ttl", key, _raw_bytes(rng), _FAR_TTL))
+            else:
+                workload.append(("put", key, _raw_bytes(rng)))
         elif roll < 0.70:
             workload.append(("delete", key))
         elif roll < 0.80:
@@ -242,7 +257,7 @@ def _op_effects(op: tuple) -> dict[int, Any]:
     """key -> would-be new value (TOMBSTONE for deletes); empty for
     reads and flushes."""
     kind = op[0]
-    if kind == "put":
+    if kind in ("put", "put_ttl"):
         return {op[1]: op[2]}
     if kind == "delete":
         return {op[1]: TOMBSTONE}
@@ -258,6 +273,8 @@ def _apply_op(store, op: tuple) -> Any:
     kind = op[0]
     if kind == "put":
         store.put(op[1], op[2])
+    elif kind == "put_ttl":
+        store.put(op[1], op[2], ttl=op[3])
     elif kind == "delete":
         store.delete(op[1])
     elif kind == "batch":

@@ -18,6 +18,7 @@ reference model. Two families of checks:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any
 
@@ -110,7 +111,81 @@ class InvariantChecker:
         for index, shard in enumerate(shards):
             violations.extend(self._check_shard(index, shard))
         violations.extend(self._check_snapshot(store))
+        violations.extend(self.check_filter_exactness(store))
         return violations
+
+    def check_filter_exactness(self, store) -> list[Violation]:
+        """Chucky-specific: the filter's (lid, fingerprint) multiset must
+        equal the one recomputed from the tree's stored entries (the
+        memtable is not yet filtered). Fingerprints are malleable — a
+        function of (key, lid) only — so placement is free to differ,
+        but any multiset divergence is real damage: a stale slot left by
+        a missed remove (unbounded FPR drift under churn) or a dropped
+        live one (a future false negative). Also asserts
+        ``maintenance_misses`` stayed 0. No-op for per-run policies
+        whose filter has no iterable slots."""
+        violations = []
+        shards = getattr(store, "shards", [store])
+        for index, shard in enumerate(shards):
+            filt = getattr(shard.policy, "filter", None)
+            if filt is None:
+                continue
+            misses = getattr(filt, "maintenance_misses", 0)
+            if misses:
+                violations.append(
+                    Violation(
+                        "filter-maintenance",
+                        f"shard {index}: {misses} remove/update_lid calls "
+                        f"matched no slot (stale fingerprints left behind)",
+                    )
+                )
+            multisets = self._filter_multisets(shard, filt)
+            if multisets is None:
+                continue
+            expected, actual = multisets
+            if expected != actual:
+                stale = actual - expected
+                lost = +(expected - actual)
+                violations.append(
+                    Violation(
+                        "filter-exactness",
+                        f"shard {index}: filter diverges from the tree — "
+                        f"{sum(stale.values())} stale slot(s) "
+                        f"{sorted(stale)[:5]}, {sum(lost.values())} missing "
+                        f"slot(s) {sorted(lost)[:5]}",
+                    )
+                )
+        return violations
+
+    @staticmethod
+    def _filter_multisets(shard, filt):
+        """(expected, actual) (lid, fp) Counters for a slot-iterable
+        filter, partition-tagged for the partitioned variant; ``None``
+        when the filter exposes no slots to compare."""
+        tree = shard.tree
+        partitions = getattr(filt, "partitions", None)
+        if partitions is not None:
+            actual = Counter()
+            for pi, part in enumerate(partitions):
+                for slot in part.iter_slots():
+                    actual[(pi, *slot)] += 1
+            expected = Counter()
+            with tree.storage.counting_suspended():
+                for sublevel, run in tree.occupied_runs():
+                    for entry in run.read_all():
+                        pi = filt.partition_index(entry.key)
+                        fp = partitions[pi].fingerprint(entry.key, sublevel)
+                        expected[(pi, sublevel, fp)] += 1
+            return expected, actual
+        if not hasattr(filt, "iter_slots") or not hasattr(filt, "fingerprint"):
+            return None
+        actual = Counter(filt.iter_slots())
+        expected = Counter()
+        with tree.storage.counting_suspended():
+            for sublevel, run in tree.occupied_runs():
+                for entry in run.read_all():
+                    expected[(sublevel, filt.fingerprint(entry.key, sublevel))] += 1
+        return expected, actual
 
     # ------------------------------------------------------------------
 

@@ -18,7 +18,7 @@ import random
 from array import array
 
 from repro.common.counters import MemoryIOCounter
-from repro.common.errors import CapacityError
+from repro.common.errors import CapacityError, FilterError
 from repro.common.hashing import (
     alt_offset,
     fingerprint_bits,
@@ -52,6 +52,7 @@ class CuckooFilter:
         memory_ios: MemoryIOCounter | None = None,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        strict_deletes: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -81,6 +82,12 @@ class CuckooFilter:
         )
         self._rng = random.Random(seed)
         self.num_entries = 0
+        #: Removes that found no matching fingerprint. An inserted key's
+        #: fingerprint is always in one of its two buckets, so every
+        #: miss here is a contract violation by the caller — the one
+        #: form of delete misuse the filter *can* detect.
+        self.deletes_missed = 0
+        self._strict_deletes = strict_deletes
         registry = metrics if metrics is not None else NULL_REGISTRY
         self._walk_hist = registry.histogram(
             "cuckoo_eviction_walk_length", EVICTION_WALK_BUCKETS,
@@ -209,6 +216,18 @@ class CuckooFilter:
 
         (Bloom filters cannot do this — the reason they must be rebuilt
         from scratch on every compaction, paper section 2.)
+
+        **Delete contract** (Fan et al. section 3): only remove keys the
+        caller has proven inserted and not yet removed. Partial-key
+        hashing stores F-bit fingerprints, not keys, so removing a key
+        that was *never* inserted can silently strip a colliding key's
+        fingerprint — manufacturing a false negative the filter cannot
+        detect. The engine honors the contract by deleting fingerprints
+        only for entries that physically left the tree
+        (:class:`~repro.lsm.tree.MergeEvent` drops). The *detectable*
+        misuse — a remove that matches nothing at all — increments
+        :attr:`deletes_missed` and, with ``strict_deletes=True``, raises
+        :class:`FilterError` instead of returning False.
         """
         fp = self._fingerprint(key)
         b1 = self._primary_bucket(key)
@@ -226,6 +245,14 @@ class CuckooFilter:
                     fps[base + self._slots - 1] = 0
                     self.num_entries -= 1
                     return True
+        self.deletes_missed += 1
+        if self._strict_deletes:
+            raise FilterError(
+                f"cuckoo delete contract violated: remove({key!r}) matched "
+                f"no fingerprint — the key was never inserted (or already "
+                f"removed); a *colliding* bare remove would silently strip "
+                f"another key's fingerprint instead"
+            )
         return False
 
     def expected_fpp(self) -> float:

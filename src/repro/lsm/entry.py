@@ -26,16 +26,35 @@ TOMBSTONE = _Tombstone()
 
 
 @dataclass(frozen=True, slots=True)
+class Expiring:
+    """A value bundled with its absolute expiry stamp (modelled ns).
+
+    The TTL write path wraps the user's value in one of these so the
+    expiry travels through the WAL and the memtable without changing
+    either surface's signature; :meth:`Memtable.put` unwraps it into
+    the :class:`Entry` it buffers. User code never sees the wrapper on
+    reads — an expired entry simply answers ``None``.
+    """
+
+    value: Any
+    expires_at: int
+
+
+@dataclass(frozen=True, slots=True)
 class Entry:
     """One key-value version.
 
     ``seqno`` is a global monotonically increasing sequence number used
     to order versions of the same key during merges (younger wins).
+    ``expires_at`` (absolute modelled ns, ``None`` = never) marks a TTL
+    write: past the stamp the version reads as absent and is reclaimed
+    lazily at merge time, exactly like a purged tombstone.
     """
 
     key: int
     value: Any
     seqno: int
+    expires_at: int | None = None
 
     @property
     def is_tombstone(self) -> bool:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.common.counters import MemoryIOCounter
-from repro.lsm.entry import Entry, TOMBSTONE
+from repro.lsm.entry import Entry, Expiring, TOMBSTONE
 
 
 class Memtable:
@@ -41,9 +41,14 @@ class Memtable:
 
     def put(self, key: int, value: Any, seqno: int) -> None:
         """Insert or overwrite; the caller flushes before putting into a
-        full buffer (KVStore enforces this)."""
+        full buffer (KVStore enforces this). An :class:`Expiring` value
+        (the TTL write path's wrapper) is unwrapped here, so WAL replay
+        and replication apply TTL writes without special-casing them."""
         self._memory_ios.add("memtable")
-        self._entries[key] = Entry(key, value, seqno)
+        if type(value) is Expiring:
+            self._entries[key] = Entry(key, value.value, seqno, value.expires_at)
+        else:
+            self._entries[key] = Entry(key, value, seqno)
 
     def delete(self, key: int, seqno: int) -> None:
         self.put(key, TOMBSTONE, seqno)

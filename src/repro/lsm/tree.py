@@ -136,6 +136,11 @@ class LSMTree:
         #: The durable manifest: what a crash recovers from. Updated
         #: atomically when a flush cascade (or bulk install) commits.
         self._committed: list[RunManifest] = []
+        #: Modelled clock (absolute ns) for TTL reclamation; installed by
+        #: the KVStore. ``None`` (or no TTL entries in a merge) means the
+        #: expiry checks never fire — the merge path is byte-for-byte the
+        #: pre-TTL one.
+        self.clock: Callable[[], int] | None = None
         self.attach_observability(NULL_OBS)
 
     def attach_observability(self, obs: Observability) -> None:
@@ -363,7 +368,7 @@ class LSMTree:
             kept: list[Entry] = []
             kept_origin: list[int] = []
             for entry, src in zip(entries, origin):
-                if entry.is_tombstone:
+                if entry.is_tombstone or self._expired(entry):
                     drops.append((entry, src))
                 else:
                     kept.append(entry)
@@ -449,6 +454,7 @@ class LSMTree:
                 (target_entries, [sublevel] * len(target_entries)),
             ],
             purge_tombstones=self._is_oldest_sublevel(sublevel),
+            is_expired=self._expired,
         )
         drops = list(pending_drops) + drops
         self._retire(target)
@@ -500,6 +506,16 @@ class LSMTree:
 
     def _is_oldest_sublevel(self, sublevel: int) -> bool:
         return sublevel == self.config.total_sublevels(self.num_levels)
+
+    def _expired(self, entry: Entry) -> bool:
+        """Whether a TTL entry's stamp has passed. Only consulted where
+        tombstones purge (the oldest sub-level) — dropping an expired
+        version any earlier could resurrect an older, shadowed version
+        of the same key on the query path."""
+        exp = entry.expires_at
+        if exp is None or self.clock is None:
+            return False
+        return exp <= self.clock()
 
     def _grow(self) -> None:
         """Add a level: the old largest level becomes an inner level.
@@ -664,6 +680,7 @@ class LSMTree:
 def _merge_sorted(
     sources: list[tuple[list[Entry], list[int]]],
     purge_tombstones: bool,
+    is_expired: Callable[[Entry], bool] | None = None,
 ) -> tuple[list[Entry], list[int], list[tuple[Entry, int]]]:
     """K-way merge with version resolution.
 
@@ -671,7 +688,8 @@ def _merge_sorted(
     Returns (survivors, survivor origins, dropped (entry, origin) pairs).
     The newest version of each key (highest seqno) survives; with
     ``purge_tombstones`` the newest version is dropped too when it is a
-    tombstone (the merge target is the oldest data in the tree).
+    tombstone (the merge target is the oldest data in the tree) — or,
+    when ``is_expired`` says so, a TTL entry whose stamp has passed.
     """
     best: dict[int, tuple[Entry, int]] = {}
     drops: list[tuple[Entry, int]] = []
@@ -691,7 +709,9 @@ def _merge_sorted(
     survivor_origins: list[int] = []
     for key in sorted(best):
         entry, origin = best[key]
-        if purge_tombstones and entry.is_tombstone:
+        if purge_tombstones and (
+            entry.is_tombstone or (is_expired is not None and is_expired(entry))
+        ):
             drops.append((entry, origin))
             continue
         survivors.append(entry)

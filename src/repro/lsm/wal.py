@@ -26,16 +26,22 @@ from typing import Any, Callable, Iterator
 
 from repro.common.errors import ReproError
 from repro.common.hashing import splitmix64
-from repro.lsm.entry import TOMBSTONE
+from repro.lsm.entry import Expiring, TOMBSTONE
 
 _PUT = 0
 _DELETE = 1
 _BATCH = 2
 
-#: Value kinds: how the payload bytes map back to a Python value.
+#: Value kinds: how the payload bytes map back to a Python value. The
+#: TTL kinds prefix the payload with an 8-byte little-endian absolute
+#: expiry stamp (modelled ns) and decode back to :class:`Expiring`, so
+#: a TTL write round-trips through crash and recovery exactly; records
+#: without TTL keep their pre-TTL byte encoding unchanged.
 _VK_STR = 0
 _VK_BYTES = 1
 _VK_TOMB = 2
+_VK_STR_TTL = 3
+_VK_BYTES_TTL = 4
 
 #: kind(1) + key(8) + seqno(8) + value-kind(1) + value-length(4)
 _ITEM_HEADER = 22
@@ -56,6 +62,13 @@ def _encode_value(value: Any) -> tuple[int, bytes]:
     """(value-kind, payload bytes) for any storable value."""
     if value is TOMBSTONE:
         return _VK_TOMB, b""
+    if type(value) is Expiring:
+        if value.expires_at < 0 or value.expires_at >= 1 << 64:
+            raise ValueError(f"expiry {value.expires_at} out of 64-bit range")
+        stamp = value.expires_at.to_bytes(8, "little")
+        if isinstance(value.value, bytes):
+            return _VK_BYTES_TTL, stamp + value.value
+        return _VK_STR_TTL, stamp + str(value.value).encode("utf-8")
     if isinstance(value, bytes):
         return _VK_BYTES, value
     return _VK_STR, str(value).encode("utf-8")
@@ -73,6 +86,14 @@ def _decode_value(vkind: int, raw: bytes, offset: int) -> Any:
             raise WalCorruption(
                 f"undecodable str value at offset {offset}: {exc}"
             ) from None
+    if vkind in (_VK_STR_TTL, _VK_BYTES_TTL):
+        if len(raw) < 8:
+            raise WalCorruption(
+                f"TTL value missing its expiry stamp at offset {offset}"
+            )
+        expires_at = int.from_bytes(raw[:8], "little")
+        inner = _VK_BYTES if vkind == _VK_BYTES_TTL else _VK_STR
+        return Expiring(_decode_value(inner, raw[8:], offset), expires_at)
     raise WalCorruption(f"unknown value kind {vkind} at offset {offset}")
 
 

@@ -36,7 +36,7 @@ import time
 from dataclasses import asdict, dataclass
 
 from repro.server.client import AsyncClient, ClientTraceConfig, ServerBusy
-from repro.workloads.generators import request_stream
+from repro.workloads.generators import WORKLOAD_KINDS, request_stream
 
 #: How many times one op retries BUSY before counting as an error.
 MAX_BUSY_RETRIES = 50
@@ -45,7 +45,18 @@ MAX_BUSY_RETRIES = 50
 MAX_TRACES_IN_ARTIFACT = 32
 
 #: The op classes the generator issues and accounts separately.
-OP_CLASSES = ("read", "update")
+OP_CLASSES = ("read", "update", "insert", "delete", "scan", "rmw")
+
+#: Workload kinds whose reads the generator *verifies*: each connection
+#: owns a disjoint key slice, replays a per-connection membership model,
+#: and flags any read that contradicts it. A key the model says is live
+#: reading back absent is a **false negative** — the error class the
+#: filter-delete contract exists to forbid — and fails the churn-smoke
+#: gate; a deleted key reading back live is a stale read.
+VERIFIED_WORKLOADS = ("churn", "denylist")
+
+#: Span of one short scan op (``ycsb-e``) on the wire.
+SCAN_WIDTH = 32
 
 
 @dataclass(frozen=True)
@@ -56,7 +67,7 @@ class LoadgenConfig:
     port: int = 7411
     connections: int = 8
     ops: int = 5000
-    workload: str = "ycsb-b"  # uniform | zipf | ycsb-b
+    workload: str = "ycsb-b"  # any of WORKLOAD_KINDS
     key_space: int = 2000
     read_fraction: float = 0.95
     theta: float = 0.99
@@ -77,9 +88,10 @@ class LoadgenConfig:
             raise ValueError(f"ops must be >= 1, got {self.ops}")
         if self.key_space < 1:
             raise ValueError(f"key_space must be >= 1, got {self.key_space}")
-        if self.workload not in ("uniform", "zipf", "ycsb-b"):
+        if self.workload not in WORKLOAD_KINDS:
             raise ValueError(
-                f"workload must be uniform|zipf|ycsb-b, got {self.workload!r}"
+                f"workload must be one of {'|'.join(WORKLOAD_KINDS)}, "
+                f"got {self.workload!r}"
             )
         if self.trace_every < 0:
             raise ValueError(
@@ -129,6 +141,23 @@ async def _preload(cfg: LoadgenConfig) -> None:
         await client.close()
 
 
+def _worker_keys(cfg: LoadgenConfig, index: int) -> list[int]:
+    """This connection's key population. Verified workloads slice the
+    key space disjointly per connection so each worker's membership
+    model is authoritative for every key it reads; the other kinds
+    share the whole space (the historical behavior, draw-for-draw)."""
+    if cfg.workload not in VERIFIED_WORKLOADS:
+        return list(range(cfg.key_space))
+    span = cfg.key_space // cfg.connections
+    if span < 1:
+        raise ValueError(
+            f"verified workload {cfg.workload!r} needs key_space >= "
+            f"connections ({cfg.key_space} < {cfg.connections})"
+        )
+    lo = index * span
+    return list(range(lo, lo + span))
+
+
 async def _worker(
     cfg: LoadgenConfig,
     index: int,
@@ -136,6 +165,7 @@ async def _worker(
     latencies: dict[str, list[float]],
     counters: dict[str, dict[str, int]],
     trace_state: dict,
+    verify_state: dict,
 ) -> None:
     client = await AsyncClient.connect(
         cfg.host, cfg.port, trace=_trace_config(cfg)
@@ -143,22 +173,39 @@ async def _worker(
     value = f"c{index}-" + "y" * max(0, cfg.value_size - 4)
     stream = request_stream(
         cfg.workload,
-        list(range(cfg.key_space)),
+        _worker_keys(cfg, index),
         ops,
         read_fraction=cfg.read_fraction,
         theta=cfg.theta,
         seed=cfg.seed * 1_000_003 + index,
     )
+    verifying = cfg.workload in VERIFIED_WORKLOADS
+    # Membership model: True = must read back live, False = must read
+    # back absent, None = unknown (the op that would have set it
+    # errored). Untouched keys are live iff the population was preloaded
+    # (the denylist scenario starts empty).
+    preloaded = cfg.preload and cfg.workload != "denylist"
+    model: dict[int, bool | None] = {}
     try:
         for op, key in stream:
             start = time.perf_counter_ns()
             backoff = 0.0005
+            ok = False
+            result = None
             for attempt in range(MAX_BUSY_RETRIES + 1):
                 try:
                     if op == "read":
+                        result = await client.get(key)
+                    elif op == "delete":
+                        await client.delete(key)
+                    elif op == "scan":
+                        await client.scan(key, key + SCAN_WIDTH)
+                    elif op == "rmw":
                         await client.get(key)
-                    else:
                         await client.put(key, value)
+                    else:  # update / insert
+                        await client.put(key, value)
+                    ok = True
                     break
                 except ServerBusy:
                     counters[op]["busy_retries"] += 1
@@ -171,6 +218,22 @@ async def _worker(
                     counters[op]["errors"] += 1
                     break
             latencies[op].append((time.perf_counter_ns() - start) / 1_000)
+            if not verifying:
+                continue
+            if op == "read":
+                if ok:
+                    expected = model.get(key, preloaded)
+                    if expected is None:
+                        continue
+                    verify_state["verified_reads"] += 1
+                    if expected and result is None:
+                        verify_state["false_negatives"] += 1
+                    elif not expected and result is not None:
+                        verify_state["stale_reads"] += 1
+            elif op in ("update", "insert", "rmw"):
+                model[key] = True if ok else None
+            elif op == "delete":
+                model[key] = False if ok else None
     finally:
         # Harvest this connection's trace state before the socket goes.
         trace_state["sampled"] += client.traces_sampled
@@ -222,7 +285,9 @@ async def _collect_traces(cfg: LoadgenConfig, trace_state: dict) -> dict:
 async def run_loadgen(cfg: LoadgenConfig) -> dict:
     """Run the configured load and return the summary dict
     (the exact structure written to ``BENCH_serve.json``)."""
-    if cfg.preload:
+    if cfg.preload and cfg.workload != "denylist":
+        # The denylist scenario's whole point is an (almost) empty
+        # store: admission checks must be negative lookups.
         await _preload(cfg)
     latencies: dict[str, list[float]] = {op: [] for op in OP_CLASSES}
     counters = {op: {"busy_retries": 0, "errors": 0} for op in OP_CLASSES}
@@ -232,13 +297,21 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict:
         "trace_ids": [],
         "client_spans": [],
     }
+    verify_state: dict = {
+        "verified_reads": 0,
+        "false_negatives": 0,
+        "stale_reads": 0,
+    }
     per_conn = [cfg.ops // cfg.connections] * cfg.connections
     for i in range(cfg.ops % cfg.connections):
         per_conn[i] += 1
     started = time.perf_counter()
     await asyncio.gather(
         *(
-            _worker(cfg, index, ops, latencies, counters, trace_state)
+            _worker(
+                cfg, index, ops, latencies, counters, trace_state,
+                verify_state,
+            )
             for index, ops in enumerate(per_conn)
             if ops > 0
         )
@@ -262,10 +335,19 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict:
         "op_counters": {op: dict(c) for op, c in counters.items()},
         "latency_us": {
             "all": _summarize_op(all_latencies),
+            # read/update always present (artifact schema compat); the
+            # other op classes appear when the workload issued them.
             "read": _summarize_op(latencies["read"]),
             "update": _summarize_op(latencies["update"]),
+            **{
+                op: _summarize_op(latencies[op])
+                for op in OP_CLASSES
+                if op not in ("read", "update") and latencies[op]
+            },
         },
     }
+    if cfg.workload in VERIFIED_WORKLOADS:
+        summary["verification"] = dict(verify_state)
     if cfg.trace_every or cfg.trace_slow_us:
         traces = await _collect_traces(cfg, trace_state)
         summary["tracing"] = {

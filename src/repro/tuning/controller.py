@@ -137,6 +137,13 @@ class TuningController:
         self.sensor.record_write(count)
         self._maybe_close_window()
 
+    def on_delete(self, count: int = 1) -> None:
+        """Stores that distinguish deletes call this instead of
+        :meth:`on_write`; the sensor keeps them inside the write mix
+        but also surfaces the delete-rate to the planner."""
+        self.sensor.record_delete(count)
+        self._maybe_close_window()
+
     def on_scan(self) -> None:
         self.sensor.record_scan()
         self._maybe_close_window()

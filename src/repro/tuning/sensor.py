@@ -78,6 +78,13 @@ class WindowSummary:
     memtable_capacity: int
     #: Cost-model price of the window's counted I/Os, per operation.
     modelled_ns_per_op: float
+    #: Deletes inside the write mix (tombstone appends). Kept as a
+    #: separate signal on top of ``writes`` — a sustained high
+    #: ``delete_fraction`` means churn: tombstone/garbage pressure the
+    #: planner should weigh, not just write volume. Defaulted so
+    #: summaries recorded before the field existed still load.
+    deletes: int = 0
+    delete_fraction: float = 0.0
 
     def as_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -87,8 +94,9 @@ class WorkloadSensor:
     """Folds per-operation observations into :class:`WindowSummary`\\ s.
 
     The owner (the :class:`~repro.tuning.controller.TuningController`)
-    calls :meth:`record_read` / :meth:`record_write` / :meth:`record_scan`
-    from the store's tuning hook, checks :attr:`window_filled`, and calls
+    calls :meth:`record_read` / :meth:`record_write` /
+    :meth:`record_delete` / :meth:`record_scan` from the store's tuning
+    hook, checks :attr:`window_filled`, and calls
     :meth:`close_window` to harvest the summary and start the next
     window.
     """
@@ -107,6 +115,7 @@ class WorkloadSensor:
         self._snap = aggregate_snapshot(self.store)
         self._reads = 0
         self._writes = 0
+        self._deletes = 0
         self._scans = 0
         self._negative = 0
         self._false_positives = 0
@@ -125,6 +134,13 @@ class WorkloadSensor:
 
     def record_write(self, count: int = 1) -> None:
         self._writes += count
+
+    def record_delete(self, count: int = 1) -> None:
+        """A delete is a write to the engine (a tombstone append) — it
+        stays inside the write mix so every existing planner input is
+        unchanged — but is also tallied separately as delete-rate."""
+        self._writes += count
+        self._deletes += count
 
     def record_scan(self) -> None:
         self._scans += 1
@@ -195,6 +211,8 @@ class WorkloadSensor:
                 memory_ios, storage_reads, storage_writes
             )
             / ops,
+            deletes=self._deletes,
+            delete_fraction=self._deletes / ops,
         )
         self.windows_closed += 1
         self._begin_window()

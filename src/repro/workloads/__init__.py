@@ -14,6 +14,7 @@ from repro.workloads.bench import (
 from repro.workloads.drift import (
     DriftPhase,
     apply_ops,
+    delete_churn_scenario,
     grow_n_scenario,
     phase_shift_scenario,
     scenario,
@@ -22,9 +23,14 @@ from repro.workloads.drift import (
     total_ops,
 )
 from repro.workloads.generators import (
+    OP_KINDS,
+    WORKLOAD_KINDS,
     UniformGenerator,
     ZipfianGenerator,
+    churn_stream,
+    denylist_stream,
     request_stream,
+    ycsb,
     ycsb_b,
 )
 from repro.workloads.generators import zipf_over
@@ -38,10 +44,15 @@ from repro.workloads.loaders import (
 __all__ = [
     "BenchCase",
     "DriftPhase",
+    "OP_KINDS",
     "UniformGenerator",
+    "WORKLOAD_KINDS",
     "ZipfianGenerator",
     "apply_ops",
+    "churn_stream",
+    "denylist_stream",
     "default_cases",
+    "delete_churn_scenario",
     "fill_tree_to_levels",
     "grow_n_scenario",
     "negative_keys",
@@ -56,6 +67,7 @@ __all__ = [
     "sublevel_sample_keys",
     "total_ops",
     "write_artifact",
+    "ycsb",
     "ycsb_b",
     "zipf_over",
 ]

@@ -70,11 +70,18 @@ def _median_wall(rows: list[dict[str, Any]]) -> dict[str, Any]:
     }
     return row
 
-#: The canonical case matrix: every workload kind over both presets.
+#: The canonical case matrix: every workload kind over both presets —
+#: the point/scan mixes, the full YCSB A–F family, and delete-heavy
+#: churn. Baselines are pinned additively: the original six cases'
+#: counted I/Os are untouched by the matrix growing around them.
 CANONICAL_CASES: tuple[tuple[str, str], ...] = tuple(
     (preset, workload)
     for preset in ("leveled", "tiered")
-    for workload in ("uniform", "zipf", "ycsb-b")
+    for workload in (
+        "uniform", "zipf",
+        "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f",
+        "churn",
+    )
 )
 
 _PRESETS = {
@@ -134,7 +141,15 @@ def run_case(
         op_start = time.perf_counter_ns()
         if op == "read":
             store.get(key)
-        else:
+        elif op == "delete":
+            store.delete(key)
+        elif op == "scan":
+            for _ in store.scan(key, key + case.scan_width):
+                pass
+        elif op == "rmw":
+            store.get(key)
+            store.put(key, f"u{key}")
+        else:  # update / insert — both a put at the engine
             store.put(key, f"u{key}")
         if case.scan_every and (index + 1) % case.scan_every == 0:
             lo = key % max(1, preload - case.scan_width)

@@ -14,6 +14,10 @@ static configurations run over the *same* ops.
   phases (exercises memtable resizing and merge-policy planning).
 * :func:`skew_shift_scenario` — access skew jumps from uniform to
   Zipfian (exercises the sensor's skew and cache statistics).
+* :func:`delete_churn_scenario` — sustained delete/re-insert churn over
+  a bounded key set with reads landing on both live and deleted keys
+  (exercises the sensor's delete-rate signal: the planner must see
+  tombstone pressure in the sensed mix, not infer it from writes).
 """
 
 from __future__ import annotations
@@ -66,6 +70,7 @@ def scenario(name: str, **kwargs) -> list[DriftPhase]:
         "grow-n": grow_n_scenario,
         "phase-shift": phase_shift_scenario,
         "skew-shift": skew_shift_scenario,
+        "delete-churn": delete_churn_scenario,
     }
     try:
         factory = factories[name]
@@ -155,6 +160,56 @@ def skew_shift_scenario(
         DriftPhase(name="uniform", ops=uniform),
         DriftPhase(name="skewed", ops=skewed),
     ]
+
+
+def delete_churn_scenario(
+    population: int = 600,
+    phase_ops: int = 1200,
+    cycles: int = 3,
+    read_fraction: float = 0.3,
+    seed: int = 0,
+) -> list[DriftPhase]:
+    """Preload, then sustained delete/re-insert churn over a bounded set.
+
+    Each churn phase mixes reads with roughly equal deletes and
+    re-inserts, keeping the live set bounded while every key cycles
+    through dead and alive states. Half the reads deliberately target
+    currently-deleted keys — true negatives a filter must answer, the
+    regime where stale fingerprints (a filter that missed its deletes)
+    turn directly into wasted storage reads. The point of the scenario:
+    the sensor's ``delete_fraction`` is materially nonzero, so the
+    planner sees delete-rate as a first-class part of the mix.
+    """
+    rng = random.Random(seed ^ 0xD317)
+    preload = tuple(("put", key, f"v{key}") for key in range(population))
+    phases = [DriftPhase(name="preload", ops=preload)]
+    live = list(range(population))
+    dead: list[int] = []
+    for index in range(cycles):
+        ops: list[Op] = []
+        for _ in range(phase_ops):
+            roll = rng.random()
+            if roll < read_fraction and (live or dead):
+                if dead and (not live or rng.random() < 0.5):
+                    ops.append(("get", dead[rng.randrange(len(dead))]))
+                else:
+                    ops.append(("get", live[rng.randrange(len(live))]))
+            elif live and (not dead or rng.random() < 0.5):
+                pick = rng.randrange(len(live))
+                live[pick], live[-1] = live[-1], live[pick]
+                key = live.pop()
+                dead.append(key)
+                ops.append(("delete", key))
+            elif dead:
+                pick = rng.randrange(len(dead))
+                dead[pick], dead[-1] = dead[-1], dead[pick]
+                key = dead.pop()
+                live.append(key)
+                ops.append(("put", key, f"r{key}"))
+            else:  # pragma: no cover - both pools can't be empty
+                ops.append(("get", rng.randrange(population)))
+        phases.append(DriftPhase(name=f"churn{index}", ops=tuple(ops)))
+    return phases
 
 
 def total_ops(phases: list[DriftPhase]) -> int:

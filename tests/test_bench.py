@@ -16,9 +16,12 @@ from repro.workloads.bench import (
 class TestBenchSuite:
     def test_canonical_matrix_covers_presets_and_workloads(self):
         cases = default_cases()
-        assert len(cases) == len(CANONICAL_CASES) == 6
+        assert len(cases) == len(CANONICAL_CASES) == 18
         assert {c.preset for c in cases} == {"leveled", "tiered"}
-        assert {c.workload for c in cases} == {"uniform", "zipf", "ycsb-b"}
+        assert {c.workload for c in cases} == {
+            "uniform", "zipf", "churn",
+            "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f",
+        }
 
     def test_run_case_reports_all_three_currencies(self):
         row = run_case(
@@ -109,8 +112,9 @@ class TestBenchCLI:
         assert rc == 0
         printed = capsys.readouterr().out
         assert "leveled/uniform" in printed and "tiered/ycsb-b" in printed
+        assert "leveled/churn" in printed and "tiered/ycsb-f" in printed
         report = json.loads(out.read_text())
-        assert len(report["cases"]) == 6
+        assert len(report["cases"]) == 18
         assert all(
             row["modelled_ns_per_op"] > 0 for row in report["cases"]
         )

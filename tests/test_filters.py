@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.coding.distributions import LidDistribution
 from repro.common.counters import MemoryIOCounter
-from repro.common.errors import CapacityError
+from repro.common.errors import CapacityError, FilterError
 from repro.filters.allocation import (
     bloom_fpp,
     optimal_bits_per_sublevel,
@@ -185,6 +185,86 @@ class TestCuckooFilter:
             CuckooFilter(10, fingerprint_bits=3)
         with pytest.raises(ValueError):
             CuckooFilter(10, slots_per_bucket=0)
+
+
+def _find_collider(f, key, limit=200_000):
+    """A key never equal to ``key`` but indistinguishable to the filter:
+    same fingerprint and the same candidate-bucket pair."""
+    fp = f._fingerprint(key)
+    b1 = f._primary_bucket(key)
+    buckets = {b1, f._alternate(b1, fp)}
+    for other in range(limit):
+        if other == key:
+            continue
+        if f._fingerprint(other) != fp:
+            continue
+        ob1 = f._primary_bucket(other)
+        if {ob1, f._alternate(ob1, fp)} == buckets:
+            return other
+    raise AssertionError("no collider found — enlarge the search")
+
+
+class TestCuckooDeleteContract:
+    """The remove() contract (Fan et al. section 3) and its enforcement.
+
+    Partial-key hashing means a remove for a key that was never inserted
+    can strip a *colliding* key's fingerprint — a silent false negative.
+    That case is fundamentally undetectable (the filter stores F-bit
+    fingerprints, not keys), which is exactly why the contract exists;
+    the regression test below reproduces the bug so nobody 'fixes' the
+    engine by calling bare remove again. The detectable misuse — a
+    remove that matches nothing — is counted and optionally fatal.
+    """
+
+    def test_bare_remove_of_collider_manufactures_false_negative(self):
+        # Few buckets + short fingerprints make colliders easy to find.
+        f = CuckooFilter(16, fingerprint_bits=5)
+        inserted = 12345
+        f.add(inserted)
+        collider = _find_collider(f, inserted)
+        assert f.may_contain(inserted)
+        # The bare remove of a never-inserted key "succeeds" (it matched
+        # the collider's fingerprint — indistinguishable by design)...
+        assert f.remove(collider)
+        assert f.deletes_missed == 0  # ...and is NOT detectable.
+        # ...and the key that *was* inserted is now a false negative.
+        assert not f.may_contain(inserted)
+
+    def test_no_match_remove_is_counted(self):
+        f = CuckooFilter(100, fingerprint_bits=16)
+        f.add(5)
+        assert not f.remove(999)
+        assert f.deletes_missed == 1
+        assert f.may_contain(5)  # nothing was stripped
+        f.remove(5)
+        assert not f.remove(5)  # double delete: also a violation
+        assert f.deletes_missed == 2
+
+    def test_strict_deletes_raises_on_no_match(self):
+        f = CuckooFilter(100, fingerprint_bits=16, strict_deletes=True)
+        f.add(5)
+        assert f.remove(5)
+        with pytest.raises(FilterError):
+            f.remove(5)
+        assert f.deletes_missed == 1
+
+    def test_honored_contract_leaves_no_false_negatives(self):
+        # Insert/remove churn that respects the contract (only remove
+        # what you inserted, once) never loses a live key.
+        f = CuckooFilter(500, fingerprint_bits=12)
+        live = set()
+        rng = random.Random(11)
+        for step in range(2000):
+            key = rng.randrange(400)
+            if key in live:
+                assert f.remove(key)
+                live.discard(key)
+            else:
+                f.add(key)
+                live.add(key)
+        assert all(f.may_contain(k) for k in live)
+        assert f.deletes_missed == 0
+        assert f.num_entries == len(live)
 
 
 class TestAllocation:
